@@ -1,0 +1,32 @@
+//! Criterion bench for E1/E2: Algorithm 2 design derivation and dimension
+//! creation (the schema-design path itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bdcc_core::{create_dimensions, derive_design, DesignConfig};
+use bdcc_tpch::ddl::{sf100_ndv, tpch_catalog};
+use bdcc_tpch::{generate, GenConfig};
+
+fn bench_design(c: &mut Criterion) {
+    let catalog = tpch_catalog();
+    let cfg = DesignConfig::default();
+    c.bench_function("algorithm2_derive_design", |b| {
+        b.iter(|| derive_design(black_box(&catalog), &cfg).unwrap())
+    });
+    c.bench_function("design_preview_sf100", |b| {
+        b.iter(|| bdcc_core::preview_design(black_box(&catalog), &sf100_ndv(), &cfg).unwrap())
+    });
+    let db = generate(&GenConfig::new(0.005));
+    let design = derive_design(db.catalog(), &cfg).unwrap();
+    c.bench_function("algorithm2_create_dimensions_sf0.005", |b| {
+        b.iter(|| create_dimensions(black_box(&db), &design, &cfg.binning).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_design
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E3 (Figure 2): representative TPC-H queries under
+//! the three storage schemes. The full 22-query sweep lives in the
+//! `fig2_exec_time` binary; here Criterion measures a selective query
+//! (Q6), a star join (Q5) and a sandwich-heavy join (Q10) per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use bdcc_core::DesignConfig;
+use bdcc_exec::{bdcc_scheme, pk_scheme, plain_scheme, QueryContext};
+use bdcc_tpch::{all_queries, generate, GenConfig, QueryCtx};
+
+fn bench_queries(c: &mut Criterion) {
+    let sf = 0.005;
+    let db = generate(&GenConfig::new(sf));
+    let schemes = vec![
+        Arc::new(plain_scheme(&db)),
+        Arc::new(pk_scheme(&db).unwrap()),
+        Arc::new(bdcc_scheme(&db, &DesignConfig::default()).unwrap()),
+    ];
+    let queries = all_queries();
+    for qid in [5usize, 6, 10] {
+        let q = queries.iter().find(|q| q.id == qid).unwrap();
+        for sdb in &schemes {
+            let name = format!("q{qid:02}_{}", sdb.scheme.name().to_lowercase());
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    let ctx = QueryCtx::new(QueryContext::new(Arc::clone(sdb)), sf);
+                    (q.run)(&ctx).unwrap()
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_queries
+}
+criterion_main!(benches);

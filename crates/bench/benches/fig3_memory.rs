@@ -1,0 +1,36 @@
+//! Criterion bench for E4 (Figure 3): the operators whose memory Figure 3
+//! contrasts — a full hash join vs the sandwich join on co-clustered
+//! inputs (time here; the memory numbers come from the `fig3_memory`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use bdcc_core::DesignConfig;
+use bdcc_exec::{bdcc_scheme, plain_scheme, QueryContext};
+use bdcc_tpch::{all_queries, generate, GenConfig, QueryCtx};
+
+fn bench_memory_paths(c: &mut Criterion) {
+    let sf = 0.005;
+    let db = generate(&GenConfig::new(sf));
+    let plain = Arc::new(plain_scheme(&db));
+    let bdcc = Arc::new(bdcc_scheme(&db, &DesignConfig::default()).unwrap());
+    let queries = all_queries();
+    // Q13: the paper's flagship sandwich-memory case.
+    let q13 = queries.iter().find(|q| q.id == 13).unwrap();
+    for (name, sdb) in [("q13_plain_hash", &plain), ("q13_bdcc_sandwich", &bdcc)] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = QueryCtx::new(QueryContext::new(Arc::clone(sdb)), sf);
+                (q13.run)(&ctx).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_memory_paths
+}
+criterion_main!(benches);

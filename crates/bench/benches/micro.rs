@@ -1,0 +1,63 @@
+//! Microbenchmarks of the BDCC primitives: bit scatter/gather, bin lookup,
+//! mask assignment, count-table construction and histogram cascade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bdcc_catalog::TableId;
+use bdcc_core::{
+    assign_masks, create_dimension, gather_bits, scatter_bits, BinningConfig, CountTable, DimId,
+    GranularityHistograms, InterleaveStrategy, KeyValue, UseBits,
+};
+use bdcc_storage::Datum;
+
+fn bench_micro(c: &mut Criterion) {
+    c.bench_function("scatter_gather_roundtrip", |b| {
+        let mask = 0b1000100010001000100u64;
+        b.iter(|| {
+            let v = scatter_bits(black_box(0b10110), 5, mask);
+            gather_bits(v, mask)
+        })
+    });
+
+    let uses = vec![
+        UseBits { dim_bits: 13, fk_group: Some(0) },
+        UseBits { dim_bits: 5, fk_group: Some(0) },
+        UseBits { dim_bits: 5, fk_group: Some(1) },
+        UseBits { dim_bits: 13, fk_group: Some(2) },
+    ];
+    c.bench_function("assign_masks_lineitem", |b| {
+        b.iter(|| assign_masks(black_box(&uses), InterleaveStrategy::RoundRobinPerUse))
+    });
+
+    let dim = create_dimension(
+        DimId(0),
+        "D",
+        TableId(0),
+        vec!["k".into()],
+        (0..8192).map(|v| (KeyValue::single(Datum::Int(v)), 1)).collect(),
+        &BinningConfig::default(),
+    )
+    .unwrap();
+    c.bench_function("bin_lookup_8k_bins", |b| {
+        let kv = KeyValue::single(Datum::Int(4242));
+        b.iter(|| dim.bin_of(black_box(&kv)))
+    });
+
+    let keys: Vec<u64> = (0..100_000u64).map(|i| (i * 37) % 4096).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    c.bench_function("count_table_100k_rows", |b| {
+        b.iter(|| CountTable::from_sorted_keys(black_box(&sorted), 12, 8).unwrap())
+    });
+    c.bench_function("histogram_cascade_100k_rows", |b| {
+        b.iter(|| GranularityHistograms::from_sorted_keys(black_box(&sorted), 12))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_micro
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E5 ("Other Orderings"): clustering LINEITEM under
+//! the three bit-interleaving strategies, and running a representative
+//! query on each resulting schema.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use bdcc_core::{DesignConfig, InterleaveStrategy};
+use bdcc_exec::{bdcc_scheme, QueryContext};
+use bdcc_tpch::{all_queries, generate, GenConfig, QueryCtx};
+
+fn bench_orderings(c: &mut Criterion) {
+    let sf = 0.005;
+    let db = generate(&GenConfig::new(sf));
+    let queries = all_queries();
+    let q3 = queries.iter().find(|q| q.id == 3).unwrap();
+    for (name, strat) in [
+        ("q03_zorder", InterleaveStrategy::RoundRobinPerUse),
+        ("q03_major_minor", InterleaveStrategy::MajorMinor),
+        ("q03_per_fk", InterleaveStrategy::RoundRobinPerFk),
+    ] {
+        let mut cfg = DesignConfig::default();
+        cfg.selftune.interleave = strat;
+        let sdb = Arc::new(bdcc_scheme(&db, &cfg).unwrap());
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let ctx = QueryCtx::new(QueryContext::new(Arc::clone(&sdb)), sf);
+                (q3.run)(&ctx).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_orderings
+}
+criterion_main!(benches);

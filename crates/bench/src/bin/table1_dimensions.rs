@@ -1,0 +1,50 @@
+//! E1 — the paper's Section IV dimension table:
+//!
+//! ```text
+//! BDCC dimension D   bits(D)  table T(D)  key K(D)
+//! D_NATION           5        NATION      n_regionkey,n_nationkey
+//! D_PART             13       PART        p_partkey
+//! D_DATE             13       ORDERS      o_orderdate
+//! ```
+//!
+//! Printed twice: at paper scale (SF100 statistics, no data needed) and as
+//! measured on the generated database at the experiment scale factor.
+
+use bdcc_bench::{generate_db, print_table, scale_factor};
+use bdcc_core::{create_dimensions, derive_design, preview_design, DesignConfig};
+use bdcc_tpch::ddl::{sf100_ndv, tpch_catalog};
+
+fn main() {
+    let cfg = DesignConfig::default();
+    let catalog = tpch_catalog();
+
+    println!("\n== Table 1 (paper scale, SF100 statistics) ==");
+    let (dims, _) = preview_design(&catalog, &sf100_ndv(), &cfg).expect("preview");
+    let rows: Vec<Vec<String>> = dims
+        .iter()
+        .map(|d| {
+            vec![d.name.clone(), d.bits.to_string(), d.table.to_uppercase(), d.key.join(",")]
+        })
+        .collect();
+    print_table(&["BDCC dimension D", "bits(D)", "table T(D)", "key K(D)"], &rows);
+    println!("  (paper: D_NATION 5, D_PART 13, D_DATE 13 — D_DATE has 2406 NDV → 12 bits here)");
+
+    let sf = scale_factor();
+    println!("\n== Table 1 (measured, SF {sf}) ==");
+    let db = generate_db(sf);
+    let design = derive_design(db.catalog(), &cfg).expect("design");
+    let dims = create_dimensions(&db, &design, &cfg.binning).expect("dimensions");
+    let rows: Vec<Vec<String>> = dims
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                d.bits().to_string(),
+                db.catalog().table_name(d.table).to_uppercase(),
+                d.key.join(","),
+                d.bin_count().to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["BDCC dimension D", "bits(D)", "table T(D)", "key K(D)", "bins"], &rows);
+}

@@ -1,0 +1,343 @@
+//! Tables, foreign keys and index hints — the DDL Algorithm 2 consumes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bdcc_storage::DataType;
+
+/// Identifier of a table inside one [`Catalog`] (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub usize);
+
+/// Identifier of a foreign key inside one [`Catalog`] (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FkId(pub usize);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+impl fmt::Display for FkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FK{}", self.0)
+    }
+}
+
+/// One column declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+/// One table declaration: columns plus an optional primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Primary-key column names in order; the PK storage scheme sorts on
+    /// them and the BDCC scheme uses them for FK resolution.
+    pub primary_key: Vec<String>,
+}
+
+impl TableDef {
+    /// Whether the table declares a column with this name.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name == name)
+    }
+}
+
+/// A declared foreign key `from_table(from_columns) → to_table(to_columns)`.
+///
+/// The paper names these `FK_T1_T2` (e.g. `FK_L_O` from LINEITEM to ORDERS);
+/// `name` carries that identifier and dimension paths are chains of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub id: FkId,
+    pub name: String,
+    pub from_table: TableId,
+    pub from_columns: Vec<String>,
+    pub to_table: TableId,
+    pub to_columns: Vec<String>,
+}
+
+/// A `CREATE INDEX name ON table(columns)` statement. Algorithm 2 treats
+/// these purely as *hints*: an index whose column set equals a foreign key
+/// imports the referenced table's dimension uses, any other index declares a
+/// new dimension with the index columns as dimension key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexHint {
+    pub name: String,
+    pub table: TableId,
+    pub columns: Vec<String>,
+}
+
+/// Errors raised while assembling a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    DuplicateTable(String),
+    UnknownTable(String),
+    UnknownColumn { table: String, column: String },
+    ArityMismatch { fk: String },
+    CyclicSchema,
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateTable(n) => write!(f, "duplicate table {n}"),
+            CatalogError::UnknownTable(n) => write!(f, "unknown table {n}"),
+            CatalogError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            CatalogError::ArityMismatch { fk } => {
+                write!(f, "foreign key {fk} has mismatched column counts")
+            }
+            CatalogError::CyclicSchema => write!(f, "schema graph contains a foreign-key cycle"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// A validated collection of table, foreign-key and index declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<TableDef>,
+    fks: Vec<ForeignKey>,
+    hints: Vec<IndexHint>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// `CREATE TABLE`: register a table definition.
+    pub fn create_table(&mut self, def: TableDef) -> Result<TableId, CatalogError> {
+        if self.by_name.contains_key(&def.name) {
+            return Err(CatalogError::DuplicateTable(def.name));
+        }
+        let id = TableId(self.tables.len());
+        self.by_name.insert(def.name.clone(), id);
+        self.tables.push(def);
+        Ok(id)
+    }
+
+    /// `ALTER TABLE ... FOREIGN KEY`: register a named foreign key.
+    pub fn create_foreign_key(
+        &mut self,
+        name: &str,
+        from_table: &str,
+        from_columns: &[&str],
+        to_table: &str,
+        to_columns: &[&str],
+    ) -> Result<FkId, CatalogError> {
+        let from = self.table_id(from_table)?;
+        let to = self.table_id(to_table)?;
+        if from_columns.len() != to_columns.len() || from_columns.is_empty() {
+            return Err(CatalogError::ArityMismatch { fk: name.to_string() });
+        }
+        for c in from_columns {
+            self.check_column(from, c)?;
+        }
+        for c in to_columns {
+            self.check_column(to, c)?;
+        }
+        let id = FkId(self.fks.len());
+        self.fks.push(ForeignKey {
+            id,
+            name: name.to_string(),
+            from_table: from,
+            from_columns: from_columns.iter().map(|s| s.to_string()).collect(),
+            to_table: to,
+            to_columns: to_columns.iter().map(|s| s.to_string()).collect(),
+        });
+        Ok(id)
+    }
+
+    /// `CREATE INDEX`: register an index hint.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        columns: &[&str],
+    ) -> Result<(), CatalogError> {
+        let t = self.table_id(table)?;
+        for c in columns {
+            self.check_column(t, c)?;
+        }
+        self.hints.push(IndexHint {
+            name: name.to_string(),
+            table: t,
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+        });
+        Ok(())
+    }
+
+    fn check_column(&self, table: TableId, column: &str) -> Result<(), CatalogError> {
+        if !self.tables[table.0].has_column(column) {
+            return Err(CatalogError::UnknownColumn {
+                table: self.tables[table.0].name.clone(),
+                column: column.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolve a table name.
+    pub fn table_id(&self, name: &str) -> Result<TableId, CatalogError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
+    }
+
+    /// Table definition by id.
+    pub fn table(&self, id: TableId) -> &TableDef {
+        &self.tables[id.0]
+    }
+
+    /// Table name by id.
+    pub fn table_name(&self, id: TableId) -> &str {
+        &self.tables[id.0].name
+    }
+
+    /// All tables with their ids.
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, &TableDef)> {
+        self.tables.iter().enumerate().map(|(i, t)| (TableId(i), t))
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Foreign key by id.
+    pub fn fk(&self, id: FkId) -> &ForeignKey {
+        &self.fks[id.0]
+    }
+
+    /// All foreign keys.
+    pub fn fks(&self) -> &[ForeignKey] {
+        &self.fks
+    }
+
+    /// Foreign keys departing from `table`.
+    pub fn fks_from(&self, table: TableId) -> impl Iterator<Item = &ForeignKey> {
+        self.fks.iter().filter(move |fk| fk.from_table == table)
+    }
+
+    /// Find a foreign key from `table` whose source column set equals
+    /// `columns` (order-insensitive) — the Algorithm 2 test "index equals a
+    /// foreign key".
+    pub fn fk_matching_columns(&self, table: TableId, columns: &[String]) -> Option<&ForeignKey> {
+        self.fks.iter().find(|fk| {
+            fk.from_table == table
+                && fk.from_columns.len() == columns.len()
+                && fk.from_columns.iter().all(|c| columns.contains(c))
+        })
+    }
+
+    /// All index hints.
+    pub fn hints(&self) -> &[IndexHint] {
+        &self.hints
+    }
+
+    /// Index hints declared on `table`.
+    pub fn hints_on(&self, table: TableId) -> impl Iterator<Item = &IndexHint> {
+        self.hints.iter().filter(move |h| h.table == table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_table_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(TableDef {
+            name: "nation".into(),
+            columns: vec![
+                ColumnDef { name: "n_nationkey".into(), data_type: DataType::Int },
+                ColumnDef { name: "n_regionkey".into(), data_type: DataType::Int },
+            ],
+            primary_key: vec!["n_nationkey".into()],
+        })
+        .unwrap();
+        c.create_table(TableDef {
+            name: "supplier".into(),
+            columns: vec![
+                ColumnDef { name: "s_suppkey".into(), data_type: DataType::Int },
+                ColumnDef { name: "s_nationkey".into(), data_type: DataType::Int },
+            ],
+            primary_key: vec!["s_suppkey".into()],
+        })
+        .unwrap();
+        c.create_foreign_key("FK_S_N", "supplier", &["s_nationkey"], "nation", &["n_nationkey"])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn create_and_resolve() {
+        let c = two_table_catalog();
+        let n = c.table_id("nation").unwrap();
+        assert_eq!(c.table_name(n), "nation");
+        assert_eq!(c.fks().len(), 1);
+        assert_eq!(c.fk(FkId(0)).name, "FK_S_N");
+        assert!(c.table_id("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = two_table_catalog();
+        let r = c.create_table(TableDef {
+            name: "nation".into(),
+            columns: vec![ColumnDef { name: "x".into(), data_type: DataType::Int }],
+            primary_key: vec![],
+        });
+        assert_eq!(r, Err(CatalogError::DuplicateTable("nation".into())));
+    }
+
+    #[test]
+    fn fk_validates_columns_and_arity() {
+        let mut c = two_table_catalog();
+        assert!(c
+            .create_foreign_key("bad", "supplier", &["nope"], "nation", &["n_nationkey"])
+            .is_err());
+        assert!(c
+            .create_foreign_key("bad2", "supplier", &["s_nationkey"], "nation", &[])
+            .is_err());
+    }
+
+    #[test]
+    fn index_hints_register_and_filter() {
+        let mut c = two_table_catalog();
+        c.create_index("nation_idx", "nation", &["n_regionkey", "n_nationkey"]).unwrap();
+        c.create_index("supp_fk", "supplier", &["s_nationkey"]).unwrap();
+        let n = c.table_id("nation").unwrap();
+        assert_eq!(c.hints_on(n).count(), 1);
+        assert!(c.create_index("bad", "nation", &["zzz"]).is_err());
+    }
+
+    #[test]
+    fn fk_matching_columns_is_order_insensitive() {
+        let c = two_table_catalog();
+        let s = c.table_id("supplier").unwrap();
+        assert!(c.fk_matching_columns(s, &["s_nationkey".to_string()]).is_some());
+        assert!(c.fk_matching_columns(s, &["s_suppkey".to_string()]).is_none());
+    }
+
+    #[test]
+    fn fks_from_filters_by_source() {
+        let c = two_table_catalog();
+        let s = c.table_id("supplier").unwrap();
+        let n = c.table_id("nation").unwrap();
+        assert_eq!(c.fks_from(s).count(), 1);
+        assert_eq!(c.fks_from(n).count(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The schema DAG over foreign keys.
+//!
+//! Algorithm 2(i) "traverses the schema DAG (projection) from the leaves":
+//! dimension hosts such as NATION or PART have no outgoing foreign keys and
+//! must be processed before the tables referencing them, so that dimension
+//! uses can be imported inductively. [`SchemaGraph`] provides that order,
+//! plus enumeration of foreign-key chains (dimension paths, Definition 2).
+
+use std::collections::VecDeque;
+
+use crate::catalog::{Catalog, CatalogError, FkId, TableId};
+
+/// The directed graph whose edges are foreign keys (referencing table →
+/// referenced table).
+#[derive(Debug, Clone)]
+pub struct SchemaGraph {
+    /// Outgoing FK ids per table.
+    out_edges: Vec<Vec<FkId>>,
+    /// Incoming FK ids per table.
+    in_edges: Vec<Vec<FkId>>,
+    /// `(from_table, to_table)` per FK id, copied so the graph is
+    /// self-contained.
+    endpoints: Vec<(TableId, TableId)>,
+}
+
+impl SchemaGraph {
+    /// Build the graph for a catalog.
+    pub fn build(catalog: &Catalog) -> SchemaGraph {
+        let n = catalog.table_count();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        let mut endpoints = Vec::with_capacity(catalog.fks().len());
+        for fk in catalog.fks() {
+            out_edges[fk.from_table.0].push(fk.id);
+            in_edges[fk.to_table.0].push(fk.id);
+            endpoints.push((fk.from_table, fk.to_table));
+        }
+        SchemaGraph { out_edges, in_edges, endpoints }
+    }
+
+    /// Foreign keys leaving `table`.
+    pub fn outgoing(&self, table: TableId) -> &[FkId] {
+        &self.out_edges[table.0]
+    }
+
+    /// Foreign keys arriving at `table`.
+    pub fn incoming(&self, table: TableId) -> &[FkId] {
+        &self.in_edges[table.0]
+    }
+
+    /// Source table of a foreign key.
+    pub fn fk_from(&self, fk: FkId) -> TableId {
+        self.endpoints[fk.0].0
+    }
+
+    /// Target table of a foreign key.
+    pub fn fk_to(&self, fk: FkId) -> TableId {
+        self.endpoints[fk.0].1
+    }
+
+    /// Tables with no outgoing foreign keys — the "leaves" of the projection
+    /// DAG (typically dimension hosts).
+    pub fn leaves(&self) -> Vec<TableId> {
+        (0..self.out_edges.len())
+            .filter(|&t| self.out_edges[t].is_empty())
+            .map(TableId)
+            .collect()
+    }
+
+    /// Leaf-first topological order: every table appears after all tables it
+    /// references. Errors with [`CatalogError::CyclicSchema`] if foreign
+    /// keys form a cycle.
+    pub fn leaf_first_order(&self) -> Result<Vec<TableId>, CatalogError> {
+        let n = self.out_edges.len();
+        let mut remaining_out: Vec<usize> = self.out_edges.iter().map(|e| e.len()).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&t| remaining_out[t] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = queue.pop_front() {
+            order.push(TableId(t));
+            for &fk in &self.in_edges[t] {
+                let from = self.fk_from(fk);
+                remaining_out[from.0] -= 1;
+                if remaining_out[from.0] == 0 {
+                    queue.push_back(from.0);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(CatalogError::CyclicSchema);
+        }
+        Ok(order)
+    }
+
+    /// All foreign-key chains starting at `table` with at most `max_len`
+    /// edges (cycles cut by the length bound). Each chain is a candidate
+    /// dimension path (Definition 2). Chains are returned shortest-first.
+    pub fn paths_from(&self, table: TableId, max_len: usize) -> Vec<Vec<FkId>> {
+        let mut result = Vec::new();
+        let mut frontier: VecDeque<(TableId, Vec<FkId>)> = VecDeque::new();
+        frontier.push_back((table, Vec::new()));
+        while let Some((t, path)) = frontier.pop_front() {
+            if path.len() == max_len {
+                continue;
+            }
+            for &fk in &self.out_edges[t.0] {
+                let mut next_path = path.clone();
+                next_path.push(fk);
+                let next = self.fk_to(fk);
+                result.push(next_path.clone());
+                frontier.push_back((next, next_path));
+            }
+        }
+        result
+    }
+
+    /// The table a path (chain of FKs starting at `start`) leads to.
+    /// Returns `None` if the chain is not connected.
+    pub fn path_target(&self, start: TableId, path: &[FkId]) -> Option<TableId> {
+        let mut t = start;
+        for &fk in path {
+            if self.fk_from(fk) != t {
+                return None;
+            }
+            t = self.fk_to(fk);
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, TableDef};
+    use bdcc_storage::DataType;
+
+    /// lineitem → orders → customer → nation, lineitem → part
+    fn chain_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, cols) in [
+            ("nation", vec!["n_nationkey"]),
+            ("part", vec!["p_partkey"]),
+            ("customer", vec!["c_custkey", "c_nationkey"]),
+            ("orders", vec!["o_orderkey", "o_custkey"]),
+            ("lineitem", vec!["l_orderkey", "l_partkey"]),
+        ] {
+            c.create_table(TableDef {
+                name: name.into(),
+                columns: cols
+                    .iter()
+                    .map(|n| ColumnDef { name: n.to_string(), data_type: DataType::Int })
+                    .collect(),
+                primary_key: vec![cols[0].to_string()],
+            })
+            .unwrap();
+        }
+        c.create_foreign_key("FK_C_N", "customer", &["c_nationkey"], "nation", &["n_nationkey"])
+            .unwrap();
+        c.create_foreign_key("FK_O_C", "orders", &["o_custkey"], "customer", &["c_custkey"])
+            .unwrap();
+        c.create_foreign_key("FK_L_O", "lineitem", &["l_orderkey"], "orders", &["o_orderkey"])
+            .unwrap();
+        c.create_foreign_key("FK_L_P", "lineitem", &["l_partkey"], "part", &["p_partkey"])
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn leaves_are_dimension_hosts() {
+        let c = chain_catalog();
+        let g = SchemaGraph::build(&c);
+        let mut leaves: Vec<&str> =
+            g.leaves().into_iter().map(|t| c.table_name(t)).collect();
+        leaves.sort();
+        assert_eq!(leaves, vec!["nation", "part"]);
+    }
+
+    #[test]
+    fn leaf_first_order_respects_references() {
+        let c = chain_catalog();
+        let g = SchemaGraph::build(&c);
+        let order = g.leaf_first_order().unwrap();
+        let pos = |name: &str| {
+            order.iter().position(|&t| c.table_name(t) == name).unwrap()
+        };
+        assert!(pos("nation") < pos("customer"));
+        assert!(pos("customer") < pos("orders"));
+        assert!(pos("orders") < pos("lineitem"));
+        assert!(pos("part") < pos("lineitem"));
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut c = Catalog::new();
+        for name in ["a", "b"] {
+            c.create_table(TableDef {
+                name: name.into(),
+                columns: vec![ColumnDef { name: "k".into(), data_type: DataType::Int }],
+                primary_key: vec!["k".into()],
+            })
+            .unwrap();
+        }
+        c.create_foreign_key("f1", "a", &["k"], "b", &["k"]).unwrap();
+        c.create_foreign_key("f2", "b", &["k"], "a", &["k"]).unwrap();
+        let g = SchemaGraph::build(&c);
+        assert_eq!(g.leaf_first_order(), Err(CatalogError::CyclicSchema));
+    }
+
+    #[test]
+    fn paths_enumerate_fk_chains() {
+        let c = chain_catalog();
+        let g = SchemaGraph::build(&c);
+        let li = c.table_id("lineitem").unwrap();
+        let paths = g.paths_from(li, 3);
+        // l→o, l→p, l→o→c, l→o→c→n
+        assert_eq!(paths.len(), 4);
+        let longest = paths.iter().max_by_key(|p| p.len()).unwrap();
+        assert_eq!(
+            g.path_target(li, longest).map(|t| c.table_name(t)),
+            Some("nation")
+        );
+    }
+
+    #[test]
+    fn path_target_rejects_disconnected_chains() {
+        let c = chain_catalog();
+        let g = SchemaGraph::build(&c);
+        let li = c.table_id("lineitem").unwrap();
+        let fk_c_n = FkId(0);
+        assert_eq!(g.path_target(li, &[fk_c_n]), None);
+    }
+}

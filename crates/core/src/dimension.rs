@@ -1,0 +1,335 @@
+//! BDCC dimensions (Definition 1).
+//!
+//! A dimension is an *order-respecting surjective mapping* from the values
+//! of a (possibly composite) dimension key onto bin numbers `0..m`. We store
+//! the inclusive upper bound of each bin; bin lookup is a binary search and
+//! the ordering property (Definition 1(iii)) makes range predicates map to
+//! contiguous bin ranges — including equality on a *prefix* of a composite
+//! key, which is exactly why the paper declares
+//! `NATION(n_regionkey, n_nationkey)` as one compound dimension key.
+
+use std::cmp::Ordering;
+
+use bdcc_catalog::TableId;
+use bdcc_storage::Datum;
+
+use crate::error::{BdccError, Result};
+
+/// Identifier of a dimension within one design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DimId(pub usize);
+
+/// A (possibly composite) dimension-key value, ordered lexicographically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyValue(pub Vec<Datum>);
+
+impl KeyValue {
+    /// Single-component key.
+    pub fn single(d: Datum) -> KeyValue {
+        KeyValue(vec![d])
+    }
+
+    /// Lexicographic comparison over the shared prefix of components.
+    /// A shorter key acts as a *prefix pattern*: `(5,)` compares `Equal`
+    /// to `(5, anything)`, which implements the paper's observation that a
+    /// region equi-selection determines a consecutive D_NATION bin range.
+    pub fn prefix_cmp(&self, other: &KeyValue) -> Ordering {
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            match a.total_cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Full lexicographic comparison (shorter key sorts first on ties).
+    pub fn full_cmp(&self, other: &KeyValue) -> Ordering {
+        self.prefix_cmp(other).then(self.0.len().cmp(&other.0.len()))
+    }
+}
+
+/// One dimension entry: bin number is the index; we store the inclusive
+/// upper bound (Definition 1(iii) orders bins by value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinEntry {
+    /// Largest key value mapped into this bin.
+    pub upper: KeyValue,
+    /// Number of (weighted) source values in the bin, recorded at creation
+    /// for diagnostics.
+    pub weight: u64,
+    /// Whether the bin holds a single distinct value (Definition 1(iv)).
+    pub unique: bool,
+}
+
+/// A BDCC dimension `D = ⟨T, K, S⟩` (Definition 1).
+#[derive(Debug, Clone)]
+pub struct Dimension {
+    pub id: DimId,
+    /// Name in the paper's style, e.g. `D_NATION`.
+    pub name: String,
+    /// Host table `T(D)`.
+    pub table: TableId,
+    /// Dimension key `K(D)`: column names on the host table, major first.
+    pub key: Vec<String>,
+    /// Ordered bins `S(D)`; bin number = index.
+    pub bins: Vec<BinEntry>,
+}
+
+impl Dimension {
+    /// Number of bins `m(D)`.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Dimension granularity `bits(D) = ⌈log2 m⌉` (Definition 1(vi)).
+    pub fn bits(&self) -> u32 {
+        bits_for_bins(self.bins.len())
+    }
+
+    /// `bin_D(v)`: the bin number of key value `v` (Definition 1(v)).
+    /// Values above the last upper bound map to the last bin (the builder
+    /// guarantees the last bound is the max, so this only matters for
+    /// values unseen at creation time).
+    pub fn bin_of(&self, v: &KeyValue) -> u64 {
+        let idx = self
+            .bins
+            .partition_point(|b| b.upper.prefix_cmp(v) == Ordering::Less);
+        idx.min(self.bins.len().saturating_sub(1)) as u64
+    }
+
+    /// The contiguous bin range `[lo, hi]` that may contain key values in
+    /// `[lo_key, hi_key]` (either bound optional, bounds may be prefixes of
+    /// the composite key). Returns `None` when the range is empty.
+    pub fn bin_range(
+        &self,
+        lo_key: Option<&KeyValue>,
+        hi_key: Option<&KeyValue>,
+    ) -> Option<(u64, u64)> {
+        if self.bins.is_empty() {
+            return None;
+        }
+        let last = self.bins.len() - 1;
+        // First bin whose upper bound >= lo_key: earlier bins hold only
+        // values strictly below the bound. Clamped to the last bin so that
+        // values unseen at creation time (which `bin_of` clamps there) are
+        // still covered.
+        let lo = match lo_key {
+            None => 0,
+            Some(k) => self
+                .bins
+                .partition_point(|b| b.upper.prefix_cmp(k) == Ordering::Less)
+                .min(last),
+        };
+        // Last bin that can contain values <= hi_key. Bins whose upper
+        // bound prefix-equals the bound always qualify; the first bin
+        // strictly above may still hold smaller values in its lower range
+        // (e.g. (1,3) in a bin ((1,2), (2,1)]) unless it is a singleton bin
+        // (Definition 1(iv)), whose only value is its upper bound.
+        let hi = match hi_key {
+            None => last,
+            Some(k) => {
+                let mut hi = self
+                    .bins
+                    .partition_point(|b| b.upper.prefix_cmp(k) == Ordering::Less);
+                if k.0.len() < self.key.len() {
+                    // Genuine prefix bound: bins whose upper prefix-equals
+                    // the bound all qualify, and the first bin strictly
+                    // above may still hold smaller values with the bound's
+                    // prefix in its lower range — unless it is a singleton
+                    // bin (Definition 1(iv)), whose only value is its upper.
+                    while hi < last && self.bins[hi].upper.prefix_cmp(k) == Ordering::Equal {
+                        hi += 1;
+                    }
+                    if hi > last {
+                        hi = last;
+                    } else if self.bins[hi].upper.prefix_cmp(k) == Ordering::Greater
+                        && self.bins[hi].unique
+                    {
+                        match hi.checked_sub(1) {
+                            Some(h) => hi = h,
+                            None => return None,
+                        }
+                    }
+                } else {
+                    // Full-key bound: the first bin with upper ≥ bound is
+                    // the last that can contain it; later bins start above.
+                    hi = hi.min(last);
+                }
+                hi
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((lo as u64, hi as u64))
+    }
+
+    /// Derive a dimension with reduced granularity `g` (Definition 1(vii)):
+    /// chop the `bits(D) − g` least significant bits of every bin number and
+    /// unite bins sharing the chopped number.
+    pub fn reduce_granularity(&self, g: u32) -> Result<Dimension> {
+        let bits = self.bits();
+        if g > bits {
+            return Err(BdccError::Invalid(format!(
+                "cannot raise granularity of {} from {bits} to {g} bits",
+                self.name
+            )));
+        }
+        let shift = bits - g;
+        let mut bins: Vec<BinEntry> = Vec::new();
+        let mut current: Option<(u64, BinEntry)> = None;
+        for (i, b) in self.bins.iter().enumerate() {
+            let coarse = (i as u64) >> shift;
+            match &mut current {
+                Some((key, entry)) if *key == coarse => {
+                    entry.upper = b.upper.clone();
+                    entry.weight += b.weight;
+                    entry.unique = false;
+                }
+                _ => {
+                    if let Some((_, done)) = current.take() {
+                        bins.push(done);
+                    }
+                    current = Some((coarse, b.clone()));
+                }
+            }
+        }
+        if let Some((_, done)) = current {
+            bins.push(done);
+        }
+        Ok(Dimension {
+            id: self.id,
+            name: format!("{}|{g}", self.name),
+            table: self.table,
+            key: self.key.clone(),
+            bins,
+        })
+    }
+}
+
+/// `⌈log2 m⌉`, with 0 bins needing 0 bits.
+pub fn bits_for_bins(m: usize) -> u32 {
+    if m <= 1 {
+        0
+    } else {
+        usize::BITS - (m - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_dim(uppers: &[i64]) -> Dimension {
+        Dimension {
+            id: DimId(0),
+            name: "D_TEST".into(),
+            table: TableId(0),
+            key: vec!["k".into()],
+            bins: uppers
+                .iter()
+                .map(|&u| BinEntry {
+                    upper: KeyValue::single(Datum::Int(u)),
+                    weight: 1,
+                    unique: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bits_math() {
+        assert_eq!(bits_for_bins(0), 0);
+        assert_eq!(bits_for_bins(1), 0);
+        assert_eq!(bits_for_bins(2), 1);
+        assert_eq!(bits_for_bins(4), 2);
+        assert_eq!(bits_for_bins(5), 3);
+        assert_eq!(bits_for_bins(25), 5); // the paper's D_NATION
+        assert_eq!(bits_for_bins(8192), 13); // the paper's 13-bit cap
+    }
+
+    #[test]
+    fn bin_of_respects_boundaries() {
+        let d = int_dim(&[10, 20, 30]);
+        assert_eq!(d.bin_of(&KeyValue::single(Datum::Int(-5))), 0);
+        assert_eq!(d.bin_of(&KeyValue::single(Datum::Int(10))), 0);
+        assert_eq!(d.bin_of(&KeyValue::single(Datum::Int(11))), 1);
+        assert_eq!(d.bin_of(&KeyValue::single(Datum::Int(30))), 2);
+        // Beyond the last bound clamps to the last bin.
+        assert_eq!(d.bin_of(&KeyValue::single(Datum::Int(99))), 2);
+    }
+
+    #[test]
+    fn bin_of_is_monotonic() {
+        let d = int_dim(&[3, 7, 13, 21]);
+        let mut prev = 0;
+        for v in -5..30 {
+            let b = d.bin_of(&KeyValue::single(Datum::Int(v)));
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bin_range_for_intervals() {
+        let d = int_dim(&[10, 20, 30]);
+        let kv = |v: i64| KeyValue::single(Datum::Int(v));
+        assert_eq!(d.bin_range(Some(&kv(12)), Some(&kv(25))), Some((1, 2)));
+        assert_eq!(d.bin_range(Some(&kv(31)), None), Some((2, 2)));
+        assert_eq!(d.bin_range(None, Some(&kv(5))), Some((0, 0)));
+        assert_eq!(d.bin_range(None, None), Some((0, 2)));
+        // Point lookup.
+        assert_eq!(d.bin_range(Some(&kv(20)), Some(&kv(20))), Some((1, 1)));
+    }
+
+    #[test]
+    fn composite_prefix_selects_contiguous_range() {
+        // D_NATION style: key (regionkey, nationkey); 2 nations per region.
+        let bins: Vec<BinEntry> = [(0, 1), (0, 2), (1, 1), (1, 2), (2, 1)]
+            .iter()
+            .map(|&(r, n)| BinEntry {
+                upper: KeyValue(vec![Datum::Int(r), Datum::Int(n)]),
+                weight: 1,
+                unique: true,
+            })
+            .collect();
+        let d = Dimension {
+            id: DimId(0),
+            name: "D_NATION".into(),
+            table: TableId(0),
+            key: vec!["n_regionkey".into(), "n_nationkey".into()],
+            bins,
+        };
+        // Region 1 equi-selection: prefix key (1,) → bins 2..=3.
+        let prefix = KeyValue(vec![Datum::Int(1)]);
+        assert_eq!(d.bin_range(Some(&prefix), Some(&prefix)), Some((2, 3)));
+        // Region 0 → bins 0..=1; region 2 → bin 4.
+        let p0 = KeyValue(vec![Datum::Int(0)]);
+        assert_eq!(d.bin_range(Some(&p0), Some(&p0)), Some((0, 1)));
+        let p2 = KeyValue(vec![Datum::Int(2)]);
+        assert_eq!(d.bin_range(Some(&p2), Some(&p2)), Some((4, 4)));
+        // Full-key point lookup still works.
+        let full = KeyValue(vec![Datum::Int(1), Datum::Int(2)]);
+        assert_eq!(d.bin_of(&full), 3);
+    }
+
+    #[test]
+    fn reduce_granularity_merges_bins() {
+        let d = int_dim(&[10, 20, 30, 40, 50]); // 5 bins → 3 bits
+        assert_eq!(d.bits(), 3);
+        let r = d.reduce_granularity(1).unwrap(); // chop 2 bits: 0..3→0, 4→1
+        assert_eq!(r.bin_count(), 2);
+        assert_eq!(r.bins[0].upper, KeyValue::single(Datum::Int(40)));
+        assert_eq!(r.bins[0].weight, 4);
+        assert_eq!(r.bins[1].upper, KeyValue::single(Datum::Int(50)));
+        assert!(d.reduce_granularity(5).is_err());
+    }
+
+    #[test]
+    fn reduce_to_same_granularity_is_identity() {
+        let d = int_dim(&[1, 2, 3, 4]);
+        let r = d.reduce_granularity(2).unwrap();
+        assert_eq!(r.bin_count(), 4);
+    }
+}

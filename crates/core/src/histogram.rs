@@ -1,0 +1,173 @@
+//! Logarithmic group-size histograms per count-table granularity.
+//!
+//! During bulk-load BDCC piggy-backs an aggregation that, "for each of the
+//! d·b possible count-table bit granularities", builds "a logarithmic group
+//! size histogram (entry x counts groups of size [2^(x−1), 2^x))". These
+//! histograms let Algorithm 1 pick a granularity whose groups stay above
+//! the efficient random access size even when correlated or hierarchical
+//! dimensions produce far fewer groups than 2^(d·b) ("puff pastry").
+
+/// Group-size statistics for every granularity `0..=total_bits`.
+#[derive(Debug, Clone)]
+pub struct GranularityHistograms {
+    pub total_bits: u32,
+    /// `hist[g][x]` counts groups at granularity `g` of size in
+    /// `[2^(x−1), 2^x)`; `x = floor(log2 s) + 1` for group size `s ≥ 1`.
+    pub hist: Vec<Vec<u64>>,
+    /// Number of groups at each granularity.
+    pub group_counts: Vec<u64>,
+}
+
+impl GranularityHistograms {
+    /// Build the full cascade from the sorted clustering keys (`keys` must
+    /// be sorted ascending; each distinct value at granularity `total_bits`
+    /// is one run).
+    pub fn from_sorted_keys(keys: &[u64], total_bits: u32) -> GranularityHistograms {
+        // Runs at maximal granularity.
+        let mut runs: Vec<(u64, u64)> = Vec::new();
+        for &k in keys {
+            match runs.last_mut() {
+                Some((key, n)) if *key == k => *n += 1,
+                _ => runs.push((k, 1)),
+            }
+        }
+        let mut hist = vec![Vec::new(); total_bits as usize + 1];
+        let mut group_counts = vec![0u64; total_bits as usize + 1];
+        // Cascade from B down to 0, merging adjacent runs that collide
+        // after each 1-bit chop.
+        let mut g = total_bits;
+        loop {
+            group_counts[g as usize] = runs.len() as u64;
+            let mut h: Vec<u64> = Vec::new();
+            for &(_, n) in &runs {
+                let bucket = log_bucket(n);
+                if h.len() <= bucket {
+                    h.resize(bucket + 1, 0);
+                }
+                h[bucket] += 1;
+            }
+            hist[g as usize] = h;
+            if g == 0 {
+                break;
+            }
+            g -= 1;
+            let shift = total_bits - g;
+            let mut merged: Vec<(u64, u64)> = Vec::with_capacity(runs.len());
+            for &(key, n) in &runs {
+                let coarse = key >> shift << shift; // canonical coarse key
+                match merged.last_mut() {
+                    Some((k, m)) if *k == coarse => *m += n,
+                    _ => merged.push((coarse, n)),
+                }
+            }
+            runs = merged;
+        }
+        GranularityHistograms { total_bits, hist, group_counts }
+    }
+
+    /// Fraction of groups at granularity `g` holding at least `min_rows`
+    /// rows, computed from the log histogram (conservatively: a bucket
+    /// counts as "above" only if its *lower* edge `2^(x−1)` is ≥ min_rows).
+    pub fn fraction_at_least(&self, g: u32, min_rows: u64) -> f64 {
+        let h = &self.hist[g as usize];
+        let total: u64 = h.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let above: u64 = h
+            .iter()
+            .enumerate()
+            .filter(|&(x, _)| bucket_lower_edge(x) >= min_rows)
+            .map(|(_, &c)| c)
+            .sum();
+        above as f64 / total as f64
+    }
+
+    /// Number of groups at granularity `g`.
+    pub fn groups_at(&self, g: u32) -> u64 {
+        self.group_counts[g as usize]
+    }
+}
+
+/// Histogram bucket of a group of size `s ≥ 1`: `x` with
+/// `s ∈ [2^(x−1), 2^x)`.
+pub fn log_bucket(s: u64) -> usize {
+    debug_assert!(s >= 1);
+    (64 - s.leading_zeros()) as usize
+}
+
+/// Lower edge `2^(x−1)` of bucket `x` (bucket 0 is unused and returns 0).
+pub fn bucket_lower_edge(x: usize) -> u64 {
+    if x == 0 {
+        0
+    } else {
+        1u64 << (x - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_paper_definition() {
+        assert_eq!(log_bucket(1), 1); // [1, 2)
+        assert_eq!(log_bucket(2), 2); // [2, 4)
+        assert_eq!(log_bucket(3), 2);
+        assert_eq!(log_bucket(4), 3); // [4, 8)
+        assert_eq!(bucket_lower_edge(1), 1);
+        assert_eq!(bucket_lower_edge(3), 4);
+    }
+
+    #[test]
+    fn cascade_counts_groups_per_granularity() {
+        // 2-bit keys: 0,0,1,2,2,2,3 → groups at g=2: sizes 2,1,3,1.
+        let keys = [0u64, 0, 1, 2, 2, 2, 3];
+        let h = GranularityHistograms::from_sorted_keys(&keys, 2);
+        assert_eq!(h.groups_at(2), 4);
+        // g=1: keys>>1: 0,0,0,1,1,1,1 → 2 groups (3 and 4 rows).
+        assert_eq!(h.groups_at(1), 2);
+        assert_eq!(h.hist[1][2], 1); // size 3 ∈ [2,4)
+        assert_eq!(h.hist[1][3], 1); // size 4 ∈ [4,8)
+        // g=0: one group of 7.
+        assert_eq!(h.groups_at(0), 1);
+        assert_eq!(h.hist[0][3], 1);
+    }
+
+    #[test]
+    fn missing_groups_from_correlation_are_visible() {
+        // Puff pastry: 4-bit space but only 2 distinct keys occur.
+        let keys = [0b0000u64, 0b0000, 0b1111, 0b1111];
+        let h = GranularityHistograms::from_sorted_keys(&keys, 4);
+        assert_eq!(h.groups_at(4), 2); // far fewer than 2^4
+        assert_eq!(h.groups_at(1), 2);
+        assert_eq!(h.groups_at(0), 1);
+    }
+
+    #[test]
+    fn fraction_at_least_is_conservative() {
+        let keys = [0u64, 0, 0, 0, 1, 2, 2, 3, 3, 3, 3, 3];
+        // g=2 groups: 4,1,2,5.
+        let h = GranularityHistograms::from_sorted_keys(&keys, 2);
+        // min_rows=2: buckets with lower edge >=2: size 4 (bucket 3, edge 4),
+        // size 2 (bucket 2, edge 2), size 5 (bucket 3). Size-1 group excluded.
+        assert!((h.fraction_at_least(2, 2) - 0.75).abs() < 1e-9);
+        assert_eq!(h.fraction_at_least(2, 1), 1.0);
+        // Empty input.
+        let e = GranularityHistograms::from_sorted_keys(&[], 2);
+        assert_eq!(e.fraction_at_least(2, 1), 0.0);
+    }
+
+    #[test]
+    fn total_rows_conserved_across_granularities() {
+        let keys: Vec<u64> = (0..100).map(|i| i % 8).collect::<Vec<_>>();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        let h = GranularityHistograms::from_sorted_keys(&sorted, 3);
+        for g in 0..=3 {
+            let rows: u64 = h.hist[g as usize].iter().sum::<u64>();
+            // groups ≤ rows and group count matches histogram mass
+            assert_eq!(rows, h.groups_at(g));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Small-group consolidation ("puff pastry" aftercare).
+//!
+//! After bulk-load, "the low percentage of data in very small groups …
+//! is copied and appended once more to table T, and the original very small
+//! groups are marked invalid in the count-table. Thus, very small groups
+//! get stored consecutively, generating better caching of these frequently
+//! re-accessed pages" (Section III). We append the copies in key order and
+//! re-point the count-table entries at the consolidated region, marking
+//! them [`GroupEntry::relocated`].
+
+use bdcc_storage::Column;
+
+use crate::count_table::CountTable;
+
+/// Consolidate all groups smaller than `min_rows` rows: their rows are
+/// appended (in group-key order) to `columns`, and their count-table
+/// entries re-pointed at the new consecutive location.
+///
+/// Returns the number of relocated groups.
+pub fn consolidate_small_groups(
+    columns: &mut [(String, Column)],
+    count: &mut CountTable,
+    min_rows: usize,
+) -> usize {
+    let original_rows: usize = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
+    let small: Vec<usize> = count
+        .groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.count < min_rows && !g.relocated)
+        .map(|(i, _)| i)
+        .collect();
+    if small.is_empty() {
+        return 0;
+    }
+    // Gather row indices of all small groups, in key order.
+    let mut rows: Vec<usize> = Vec::new();
+    for &gi in &small {
+        let g = count.groups[gi];
+        rows.extend(g.start..g.start + g.count);
+    }
+    // Append copies to every column.
+    for (_, col) in columns.iter_mut() {
+        let copied = col.gather(&rows);
+        col.append(&copied).expect("gather preserves the column type");
+    }
+    // Re-point the entries: the paper marks originals invalid and adds the
+    // appended copies; re-pointing is observationally the same for scans.
+    let mut offset = original_rows;
+    for &gi in &small {
+        let g = &mut count.groups[gi];
+        g.start = offset;
+        g.relocated = true;
+        offset += g.count;
+    }
+    small.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vec<(String, Column)>, CountTable) {
+        // Sorted 2-bit keys: group 0 has 4 rows, group 1 has 1, group 3 has 2.
+        let keys: Vec<u64> = vec![0, 0, 0, 0, 1, 3, 3];
+        let vals = Column::from_i64(vec![10, 11, 12, 13, 20, 30, 31]);
+        let kcol = Column::from_i64(keys.iter().map(|&k| k as i64).collect());
+        let count = CountTable::from_sorted_keys(&keys, 2, 2).unwrap();
+        (vec![("v".into(), vals), ("_bdcc_".into(), kcol)], count)
+    }
+
+    #[test]
+    fn small_groups_are_relocated_consecutively() {
+        let (mut cols, mut count) = setup();
+        let n = consolidate_small_groups(&mut cols, &mut count, 3);
+        assert_eq!(n, 2); // groups with 1 and 2 rows
+        // Table grew by the 3 copied rows.
+        assert_eq!(cols[0].1.len(), 10);
+        // Entries re-pointed at the tail, in key order, consecutively.
+        let g1 = count.find(1).unwrap();
+        let g3 = count.find(3).unwrap();
+        assert!(g1.relocated && g3.relocated);
+        assert_eq!(g1.start, 7);
+        assert_eq!(g3.start, 8);
+        // Values visible through the count table are unchanged.
+        let v = cols[0].1.as_i64().unwrap();
+        assert_eq!(&v[g1.start..g1.start + g1.count], &[20]);
+        assert_eq!(&v[g3.start..g3.start + g3.count], &[30, 31]);
+        // Big group untouched.
+        let g0 = count.find(0).unwrap();
+        assert!(!g0.relocated);
+        assert_eq!(g0.start, 0);
+        // Logical rows through the count table unchanged.
+        assert_eq!(count.total_rows(), 7);
+    }
+
+    #[test]
+    fn no_relocation_when_all_groups_big_enough() {
+        let (mut cols, mut count) = setup();
+        let n = consolidate_small_groups(&mut cols, &mut count, 1);
+        assert_eq!(n, 0);
+        assert_eq!(cols[0].1.len(), 7);
+    }
+
+    #[test]
+    fn relocation_is_idempotent() {
+        let (mut cols, mut count) = setup();
+        consolidate_small_groups(&mut cols, &mut count, 3);
+        let rows_after_first = cols[0].1.len();
+        // Relocated groups are skipped on a second pass.
+        let n = consolidate_small_groups(&mut cols, &mut count, 3);
+        assert_eq!(n, 0);
+        assert_eq!(cols[0].1.len(), rows_after_first);
+    }
+}

@@ -1,0 +1,46 @@
+//! Executor error type.
+
+use std::fmt;
+
+/// Errors raised during planning or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    UnknownColumn(String),
+    Type(String),
+    Plan(String),
+    Internal(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            ExecError::Type(m) => write!(f, "type error: {m}"),
+            ExecError::Plan(m) => write!(f, "planning error: {m}"),
+            ExecError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<bdcc_storage::StorageError> for ExecError {
+    fn from(e: bdcc_storage::StorageError) -> Self {
+        ExecError::Internal(e.to_string())
+    }
+}
+
+impl From<bdcc_catalog::CatalogError> for ExecError {
+    fn from(e: bdcc_catalog::CatalogError) -> Self {
+        ExecError::Plan(e.to_string())
+    }
+}
+
+impl From<bdcc_core::BdccError> for ExecError {
+    fn from(e: bdcc_core::BdccError) -> Self {
+        ExecError::Plan(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ExecError>;

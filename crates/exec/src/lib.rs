@@ -1,0 +1,36 @@
+//! # bdcc-exec — vectorized execution over BDCC schemas
+//!
+//! The query-processing substrate the paper's evaluation runs on, built
+//! from scratch: a pull-based, batch-at-a-time executor with the three
+//! access paths the Plain / PK / BDCC storage schemes need, the sandwich
+//! operators of ref [3], and the plan-time analyses that turn predicates
+//! into BDCC group restrictions (selection pushdown and propagation).
+
+pub mod batch;
+pub mod error;
+pub mod expr;
+pub mod memory;
+pub mod ops;
+pub mod plan;
+pub mod planner;
+pub mod pred;
+pub mod restrict;
+pub mod run;
+pub mod scheme;
+
+pub use batch::{Batch, BatchAssembler, ColMeta, OpSchema, BATCH_ROWS};
+pub use error::{ExecError, Result};
+pub use expr::{ArithOp, CmpOp, Expr, LikePattern};
+pub use memory::{MemoryGuard, MemoryTracker};
+pub use ops::agg::{AggFunc, AggSpec};
+pub use ops::join::{JoinType, MATCHED_COLUMN};
+pub use ops::sort::SortKey;
+pub use ops::{collect, BoxedOp, Operator};
+pub use plan::{
+    aggregate, alias_column, filter, join, join_full, project, sort, FkSide, Node, PlanBuilder,
+};
+pub use planner::{plan_query, QueryContext};
+pub use pred::{ColPredicate, PredKind};
+pub use run::{canonical_rows, run_measured, run_plan, Measurement};
+pub use scheme::{bdcc_scheme, pk_scheme, plain_scheme, Scheme, SchemeDb};
+pub use bdcc_storage::Datum;

@@ -1,0 +1,138 @@
+//! Query-memory accounting.
+//!
+//! Figure 3 of the paper compares *memory usage* per query across the
+//! Plain/PK/BDCC schemes: the dominant consumers are hash-join build tables
+//! and aggregation hash tables. Operators register their materializations
+//! with a shared [`MemoryTracker`]; the tracker keeps the running total and
+//! the peak, which is what the figure reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared memory accounting for one query execution.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryTracker {
+    /// A fresh tracker.
+    pub fn new() -> Arc<MemoryTracker> {
+        Arc::new(MemoryTracker::default())
+    }
+
+    /// Register `bytes` of newly materialized state; returns a guard that
+    /// releases them when dropped.
+    pub fn register(self: &Arc<Self>, bytes: u64) -> MemoryGuard {
+        self.grow(bytes);
+        MemoryGuard { tracker: Arc::clone(self), bytes }
+    }
+
+    /// Grow the current usage (use [`register`](Self::register) when the
+    /// lifetime maps to a scope).
+    pub fn grow(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Shrink the current usage.
+    pub fn shrink(&self, bytes: u64) {
+        self.current.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Current bytes registered.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Peak bytes since creation (or the last [`reset`](Self::reset)).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset both counters (between queries).
+    pub fn reset(&self) {
+        self.current.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for a tracked allocation. Its `bytes` can be grown while the
+/// owning state grows (e.g. a hash table being built).
+#[derive(Debug)]
+pub struct MemoryGuard {
+    tracker: Arc<MemoryTracker>,
+    bytes: u64,
+}
+
+impl MemoryGuard {
+    /// Grow this allocation by `more` bytes.
+    pub fn grow(&mut self, more: u64) {
+        self.bytes += more;
+        self.tracker.grow(more);
+    }
+
+    /// Replace the tracked size (e.g. when rebuilding per group).
+    pub fn resize(&mut self, bytes: u64) {
+        if bytes > self.bytes {
+            self.tracker.grow(bytes - self.bytes);
+        } else {
+            self.tracker.shrink(self.bytes - bytes);
+        }
+        self.bytes = bytes;
+    }
+
+    /// Currently tracked bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for MemoryGuard {
+    fn drop(&mut self) {
+        self.tracker.shrink(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_maximum() {
+        let t = MemoryTracker::new();
+        {
+            let _a = t.register(100);
+            {
+                let _b = t.register(50);
+                assert_eq!(t.current(), 150);
+            }
+            assert_eq!(t.current(), 100);
+        }
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 150);
+    }
+
+    #[test]
+    fn guard_grow_and_resize() {
+        let t = MemoryTracker::new();
+        let mut g = t.register(10);
+        g.grow(30);
+        assert_eq!(t.current(), 40);
+        g.resize(5);
+        assert_eq!(t.current(), 5);
+        assert_eq!(t.peak(), 40);
+        drop(g);
+        assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let t = MemoryTracker::new();
+        t.grow(42);
+        t.reset();
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.peak(), 0);
+    }
+}

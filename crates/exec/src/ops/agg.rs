@@ -1,0 +1,804 @@
+//! Aggregation: hash, streaming, and sandwich variants.
+//!
+//! * [`HashAggregate`] — the baseline: one hash table over the whole input;
+//!   its size is what Figure 3 charges the Plain scheme for.
+//! * [`StreamingAggregate`] — input already sorted on the group-by prefix
+//!   (the PK scheme's Q18); constant memory.
+//! * [`SandwichAggregate`] — input pre-grouped on dimension bits that the
+//!   group-by keys *functionally determine* (ref [3]): the hash table is
+//!   flushed at every group boundary, so it only ever holds one
+//!   co-cluster's worth of groups.
+
+use std::collections::HashMap;
+
+use std::sync::Arc;
+
+use bdcc_storage::{Column, DataType, Datum};
+
+use crate::batch::{Batch, ColMeta, OpSchema};
+use crate::error::{ExecError, Result};
+use crate::expr::Expr;
+use crate::memory::{MemoryGuard, MemoryTracker};
+use crate::ops::{BoxedOp, Operator};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Count,
+    /// COUNT(DISTINCT expr) over integer-backed expressions.
+    CountDistinct,
+}
+
+/// One output aggregate: function, input expression, output name.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub input: Expr,
+    pub name: String,
+}
+
+impl AggSpec {
+    pub fn new(func: AggFunc, input: Expr, name: &str) -> AggSpec {
+        AggSpec { func, input, name: name.to_string() }
+    }
+}
+
+/// Composite group key: integer and string parts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey {
+    ints: Vec<i64>,
+    strs: Vec<String>,
+}
+
+/// Running state of one aggregate for one group.
+#[derive(Debug, Clone)]
+enum AccState {
+    SumI(i64),
+    SumF(f64),
+    AvgF { sum: f64, n: u64 },
+    MinMax(Option<Datum>, bool /* is_min */),
+    Count(u64),
+    Distinct(std::collections::HashSet<i64>),
+}
+
+impl AccState {
+    fn new(func: AggFunc, dt: DataType) -> AccState {
+        match func {
+            AggFunc::Sum => match dt {
+                DataType::Float => AccState::SumF(0.0),
+                _ => AccState::SumI(0),
+            },
+            AggFunc::Avg => AccState::AvgF { sum: 0.0, n: 0 },
+            AggFunc::Min => AccState::MinMax(None, true),
+            AggFunc::Max => AccState::MinMax(None, false),
+            AggFunc::Count => AccState::Count(0),
+            AggFunc::CountDistinct => AccState::Distinct(Default::default()),
+        }
+    }
+
+    fn update(&mut self, col: &Column, row: usize) {
+        match self {
+            AccState::SumI(acc) => *acc += col.as_i64().expect("int sum")[row],
+            AccState::SumF(acc) => *acc += col.as_f64().expect("float sum")[row],
+            AccState::AvgF { sum, n } => {
+                let v = match col {
+                    Column::F64(v) => v[row],
+                    Column::I64 { values, .. } => values[row] as f64,
+                    Column::Str(_) => panic!("avg over strings"),
+                };
+                *sum += v;
+                *n += 1;
+            }
+            AccState::MinMax(cur, is_min) => {
+                let v = col.datum(row);
+                let better = match cur {
+                    None => true,
+                    Some(c) => {
+                        let ord = v.total_cmp(c);
+                        if *is_min {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        }
+                    }
+                };
+                if better {
+                    *cur = Some(v);
+                }
+            }
+            AccState::Count(n) => *n += 1,
+            AccState::Distinct(set) => {
+                set.insert(col.as_i64().expect("distinct over ints")[row]);
+            }
+        }
+    }
+
+    fn finish(&self) -> Datum {
+        match self {
+            AccState::SumI(v) => Datum::Int(*v),
+            AccState::SumF(v) => Datum::Float(*v),
+            AccState::AvgF { sum, n } => {
+                Datum::Float(if *n == 0 { 0.0 } else { sum / *n as f64 })
+            }
+            AccState::MinMax(v, _) => v.clone().unwrap_or(Datum::Int(0)),
+            AccState::Count(n) => Datum::Int(*n as i64),
+            AccState::Distinct(set) => Datum::Int(set.len() as i64),
+        }
+    }
+
+    fn estimated_bytes(&self) -> u64 {
+        match self {
+            AccState::Distinct(set) => 16 + set.len() as u64 * 16,
+            _ => 16,
+        }
+    }
+}
+
+/// Output type of an aggregate over an input of type `dt`.
+fn agg_output_type(func: AggFunc, dt: DataType) -> DataType {
+    match func {
+        AggFunc::Sum => {
+            if dt == DataType::Float {
+                DataType::Float
+            } else {
+                DataType::Int
+            }
+        }
+        AggFunc::Avg => DataType::Float,
+        AggFunc::Min | AggFunc::Max => dt,
+        AggFunc::Count | AggFunc::CountDistinct => DataType::Int,
+    }
+}
+
+/// Shared core: grouping + accumulation over batches.
+struct AggCore {
+    group_cols: Vec<usize>,
+    group_types: Vec<DataType>,
+    agg_exprs: Vec<Expr>,
+    agg_funcs: Vec<AggFunc>,
+    agg_types: Vec<DataType>,
+    groups: HashMap<GroupKey, Vec<AccState>>,
+    /// Insertion order for deterministic output.
+    order: Vec<GroupKey>,
+}
+
+impl AggCore {
+    fn new(
+        input_schema: &[ColMeta],
+        group_by: &[&str],
+        aggs: &[AggSpec],
+    ) -> Result<(AggCore, OpSchema)> {
+        let mut group_cols = Vec::with_capacity(group_by.len());
+        let mut group_types = Vec::with_capacity(group_by.len());
+        let mut schema = Vec::new();
+        for &g in group_by {
+            let idx = crate::batch::schema_index(input_schema, g)
+                .ok_or_else(|| ExecError::UnknownColumn(g.to_string()))?;
+            group_cols.push(idx);
+            group_types.push(input_schema[idx].data_type);
+            schema.push(input_schema[idx].clone());
+        }
+        let mut agg_exprs = Vec::with_capacity(aggs.len());
+        let mut agg_funcs = Vec::with_capacity(aggs.len());
+        let mut agg_types = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            let dt = a.input.data_type(input_schema)?;
+            let out_dt = agg_output_type(a.func, dt);
+            agg_exprs.push(a.input.bind(input_schema)?);
+            agg_funcs.push(a.func);
+            agg_types.push(dt);
+            schema.push(ColMeta::new(&a.name, out_dt));
+        }
+        Ok((
+            AggCore {
+                group_cols,
+                group_types,
+                agg_exprs,
+                agg_funcs,
+                agg_types,
+                groups: HashMap::new(),
+                order: Vec::new(),
+            },
+            schema,
+        ))
+    }
+
+    fn consume(&mut self, batch: &Batch) -> Result<()> {
+        let agg_inputs: Vec<Column> = self
+            .agg_exprs
+            .iter()
+            .map(|e| e.eval(batch))
+            .collect::<Result<Vec<_>>>()?;
+        for row in 0..batch.rows() {
+            let mut ints = Vec::new();
+            let mut strs = Vec::new();
+            for &c in &self.group_cols {
+                match &batch.columns[c] {
+                    Column::I64 { values, .. } => ints.push(values[row]),
+                    Column::Str(values) => strs.push(values[row].clone()),
+                    // Floats group by exact bit pattern (sufficient for
+                    // values that were never arithmetically re-derived,
+                    // e.g. c_acctbal, o_totalprice).
+                    Column::F64(values) => ints.push(values[row].to_bits() as i64),
+                }
+            }
+            let key = GroupKey { ints, strs };
+            if !self.groups.contains_key(&key) {
+                self.order.push(key.clone());
+                let fresh: Vec<AccState> = self
+                    .agg_funcs
+                    .iter()
+                    .zip(&self.agg_types)
+                    .map(|(&f, &dt)| AccState::new(f, dt))
+                    .collect();
+                self.groups.insert(key.clone(), fresh);
+            }
+            let states = self.groups.get_mut(&key).expect("just inserted");
+            for (state, col) in states.iter_mut().zip(&agg_inputs) {
+                state.update(col, row);
+            }
+        }
+        Ok(())
+    }
+
+    fn estimated_bytes(&self) -> u64 {
+        let per_key: u64 = 32
+            + self
+                .groups
+                .keys()
+                .next()
+                .map(|k| k.ints.len() as u64 * 8 + k.strs.iter().map(|s| s.len() as u64 + 8).sum::<u64>())
+                .unwrap_or(8);
+        let states: u64 = self
+            .groups
+            .values()
+            .next()
+            .map(|v| v.iter().map(|s| s.estimated_bytes()).sum())
+            .unwrap_or(16);
+        self.groups.len() as u64 * (per_key + states)
+    }
+
+    /// Drain all groups into one output batch (insertion order).
+    fn flush(&mut self) -> Result<Batch> {
+        let mut cols: Vec<Column> = Vec::new();
+        // Group key columns.
+        let mut int_i = 0;
+        let mut str_i = 0;
+        for &dt in &self.group_types {
+            match dt {
+                DataType::Str => {
+                    let i = str_i;
+                    str_i += 1;
+                    cols.push(Column::from_strings(
+                        self.order.iter().map(|k| k.strs[i].clone()).collect(),
+                    ));
+                }
+                DataType::Date => {
+                    let i = int_i;
+                    int_i += 1;
+                    cols.push(Column::from_dates(
+                        self.order.iter().map(|k| k.ints[i]).collect(),
+                    ));
+                }
+                DataType::Float => {
+                    let i = int_i;
+                    int_i += 1;
+                    cols.push(Column::from_f64(
+                        self.order
+                            .iter()
+                            .map(|k| f64::from_bits(k.ints[i] as u64))
+                            .collect(),
+                    ));
+                }
+                _ => {
+                    let i = int_i;
+                    int_i += 1;
+                    cols.push(Column::from_i64(
+                        self.order.iter().map(|k| k.ints[i]).collect(),
+                    ));
+                }
+            }
+        }
+        // Aggregate columns.
+        for (a, &func) in self.agg_funcs.iter().enumerate() {
+            let dt = agg_output_type(func, self.agg_types[a]);
+            let mut col = Column::empty(dt);
+            for k in &self.order {
+                let d = self.groups[k][a].finish();
+                // Coerce to the declared output type.
+                let d = match (dt, d) {
+                    (DataType::Float, Datum::Int(v)) => Datum::Float(v as f64),
+                    (DataType::Int, Datum::Float(v)) => Datum::Int(v as i64),
+                    (DataType::Date, Datum::Int(v)) => Datum::Date(v),
+                    (_, d) => d,
+                };
+                col.push(d)?;
+            }
+            cols.push(col);
+        }
+        self.groups.clear();
+        self.order.clear();
+        Ok(Batch::new(cols))
+    }
+
+    /// True when no groups have been accumulated.
+    #[allow(dead_code)]
+    fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Whole-input hash aggregation.
+pub struct HashAggregate {
+    input: BoxedOp,
+    core: AggCore,
+    schema: OpSchema,
+    tracker: Arc<MemoryTracker>,
+    done: bool,
+}
+
+impl HashAggregate {
+    pub fn new(
+        input: BoxedOp,
+        group_by: &[&str],
+        aggs: Vec<AggSpec>,
+        tracker: Arc<MemoryTracker>,
+    ) -> Result<HashAggregate> {
+        let (core, schema) = AggCore::new(input.schema(), group_by, &aggs)?;
+        Ok(HashAggregate { input, core, schema, tracker, done: false })
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &OpSchema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut mem: Option<MemoryGuard> = None;
+        while let Some(batch) = self.input.next()? {
+            self.core.consume(&batch)?;
+            let bytes = self.core.estimated_bytes();
+            match &mut mem {
+                Some(m) => m.resize(bytes),
+                None => mem = Some(self.tracker.register(bytes)),
+            }
+        }
+        self.done = true;
+        let out = self.core.flush()?;
+        if out.rows() == 0 && self.core.group_cols.is_empty() {
+            // Global aggregation over empty input still yields one row of
+            // zero states (COUNT() = 0, SUM() = 0, ...).
+            let cols: Vec<Column> = self
+                .core
+                .agg_funcs
+                .iter()
+                .zip(&self.core.agg_types)
+                .map(|(&f, &dt)| {
+                    let out_dt = agg_output_type(f, dt);
+                    let mut c = Column::empty(out_dt);
+                    let d = AccState::new(f, dt).finish();
+                    let d = match (out_dt, d) {
+                        (DataType::Float, Datum::Int(v)) => Datum::Float(v as f64),
+                        (DataType::Date, Datum::Int(v)) => Datum::Date(v),
+                        (DataType::Str, _) => Datum::Str(String::new()),
+                        (_, d) => d,
+                    };
+                    c.push(d).expect("zero state matches output type");
+                    c
+                })
+                .collect();
+            return Ok(Some(Batch::new(cols)));
+        }
+        Ok(Some(out))
+    }
+}
+
+/// Streaming aggregation over key-sorted input (constant memory).
+pub struct StreamingAggregate {
+    input: BoxedOp,
+    core: AggCore,
+    schema: OpSchema,
+    /// Current run's key.
+    current: Option<GroupKey>,
+    pending_out: Option<Batch>,
+    done: bool,
+}
+
+impl StreamingAggregate {
+    pub fn new(input: BoxedOp, group_by: &[&str], aggs: Vec<AggSpec>) -> Result<StreamingAggregate> {
+        let (core, schema) = AggCore::new(input.schema(), group_by, &aggs)?;
+        Ok(StreamingAggregate { input, core, schema, current: None, pending_out: None, done: false })
+    }
+
+    fn key_of(&self, batch: &Batch, row: usize) -> Result<GroupKey> {
+        let mut ints = Vec::new();
+        let mut strs = Vec::new();
+        for &c in &self.core.group_cols {
+            match &batch.columns[c] {
+                Column::I64 { values, .. } => ints.push(values[row]),
+                Column::Str(values) => strs.push(values[row].clone()),
+                Column::F64(values) => ints.push(values[row].to_bits() as i64),
+            }
+        }
+        Ok(GroupKey { ints, strs })
+    }
+}
+
+impl Operator for StreamingAggregate {
+    fn schema(&self) -> &OpSchema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if let Some(out) = self.pending_out.take() {
+            return Ok(Some(out));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        while let Some(batch) = self.input.next()? {
+            // Split the batch at key changes and emit completed runs.
+            let mut start = 0;
+            let mut flushed: Option<Batch> = None;
+            for row in 0..batch.rows() {
+                let key = self.key_of(&batch, row)?;
+                match &self.current {
+                    Some(cur) if *cur == key => {}
+                    Some(_) => {
+                        // Key change: consume the run so far, flush.
+                        if row > start {
+                            let part = slice(&batch, start, row);
+                            self.core.consume(&part)?;
+                        }
+                        start = row;
+                        let out = self.core.flush()?;
+                        self.current = Some(key);
+                        match &mut flushed {
+                            Some(f) => {
+                                for (d, s) in f.columns.iter_mut().zip(&out.columns) {
+                                    d.append(s)?;
+                                }
+                            }
+                            None => flushed = Some(out),
+                        }
+                    }
+                    None => self.current = Some(key),
+                }
+            }
+            let part = slice(&batch, start, batch.rows());
+            self.core.consume(&part)?;
+            if let Some(f) = flushed {
+                if f.rows() > 0 {
+                    return Ok(Some(f));
+                }
+            }
+        }
+        self.done = true;
+        let out = self.core.flush()?;
+        if out.rows() > 0 {
+            return Ok(Some(out));
+        }
+        Ok(None)
+    }
+}
+
+fn slice(b: &Batch, start: usize, end: usize) -> Batch {
+    Batch::new(b.columns.iter().map(|c| c.slice(start, end)).collect())
+}
+
+/// Sandwich aggregation: like hash aggregation, but the table flushes at
+/// every boundary of the `partition_cols` (the dimension group-key columns
+/// the group-by keys determine). The partition columns are *not* part of
+/// the output.
+pub struct SandwichAggregate {
+    input: BoxedOp,
+    core: AggCore,
+    schema: OpSchema,
+    partition_cols: Vec<usize>,
+    current_partition: Option<Vec<i64>>,
+    tracker: Arc<MemoryTracker>,
+    mem: Option<MemoryGuard>,
+    /// Largest per-partition table size seen (diagnostics).
+    pub max_partition_groups: usize,
+    done: bool,
+}
+
+impl SandwichAggregate {
+    pub fn new(
+        input: BoxedOp,
+        group_by: &[&str],
+        aggs: Vec<AggSpec>,
+        partition_cols: Vec<usize>,
+        tracker: Arc<MemoryTracker>,
+    ) -> Result<SandwichAggregate> {
+        if partition_cols.is_empty() {
+            return Err(ExecError::Plan("sandwich aggregation needs partition columns".into()));
+        }
+        let (core, schema) = AggCore::new(input.schema(), group_by, &aggs)?;
+        Ok(SandwichAggregate {
+            input,
+            core,
+            schema,
+            partition_cols,
+            current_partition: None,
+            tracker,
+            mem: None,
+            max_partition_groups: 0,
+            done: false,
+        })
+    }
+
+    fn partition_of(&self, batch: &Batch, row: usize) -> Result<Vec<i64>> {
+        self.partition_cols
+            .iter()
+            .map(|&c| Ok(batch.columns[c].as_i64()?[row]))
+            .collect()
+    }
+}
+
+impl Operator for SandwichAggregate {
+    fn schema(&self) -> &OpSchema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.done {
+            return Ok(None);
+        }
+        while let Some(batch) = self.input.next()? {
+            let mut start = 0;
+            let mut flushed: Option<Batch> = None;
+            for row in 0..batch.rows() {
+                let p = self.partition_of(&batch, row)?;
+                match &self.current_partition {
+                    Some(cur) if *cur == p => {}
+                    Some(_) => {
+                        if row > start {
+                            self.core.consume(&slice(&batch, start, row))?;
+                        }
+                        start = row;
+                        self.max_partition_groups =
+                            self.max_partition_groups.max(self.core.groups.len());
+                        let out = self.core.flush()?;
+                        self.current_partition = Some(p);
+                        match &mut flushed {
+                            Some(f) => {
+                                for (d, s) in f.columns.iter_mut().zip(&out.columns) {
+                                    d.append(s)?;
+                                }
+                            }
+                            None => flushed = Some(out),
+                        }
+                    }
+                    None => self.current_partition = Some(p),
+                }
+            }
+            self.core.consume(&slice(&batch, start, batch.rows()))?;
+            let bytes = self.core.estimated_bytes();
+            match &mut self.mem {
+                Some(m) => m.resize(bytes),
+                None => self.mem = Some(self.tracker.register(bytes)),
+            }
+            if let Some(f) = flushed {
+                if f.rows() > 0 {
+                    return Ok(Some(f));
+                }
+            }
+        }
+        self.done = true;
+        self.max_partition_groups = self.max_partition_groups.max(self.core.groups.len());
+        let out = self.core.flush()?;
+        self.mem = None;
+        if out.rows() > 0 {
+            return Ok(Some(out));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::collect;
+
+    struct Source {
+        schema: OpSchema,
+        batches: std::vec::IntoIter<Batch>,
+    }
+
+    impl Source {
+        fn new(cols: Vec<(&str, Column)>, chunk: usize) -> Source {
+            let schema: OpSchema =
+                cols.iter().map(|(n, c)| ColMeta::new(*n, c.data_type())).collect();
+            let n = cols[0].1.len();
+            let mut batches = Vec::new();
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                batches.push(Batch::new(
+                    cols.iter().map(|(_, c)| c.slice(start, end)).collect(),
+                ));
+                start = end;
+            }
+            Source { schema, batches: batches.into_iter() }
+        }
+    }
+
+    impl Operator for Source {
+        fn schema(&self) -> &OpSchema {
+            &self.schema
+        }
+        fn next(&mut self) -> Result<Option<Batch>> {
+            Ok(self.batches.next())
+        }
+    }
+
+    fn lineitems() -> Vec<(&'static str, Column)> {
+        vec![
+            ("flag", Column::from_strings(vec!["A".into(), "B".into(), "A".into(), "A".into()])),
+            ("qty", Column::from_i64(vec![10, 20, 30, 40])),
+            ("price", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
+        ]
+    }
+
+    #[test]
+    fn hash_aggregate_groups_and_sums() {
+        let t = MemoryTracker::new();
+        let agg = HashAggregate::new(
+            Box::new(Source::new(lineitems(), 2)),
+            &["flag"],
+            vec![
+                AggSpec::new(AggFunc::Sum, Expr::col("qty"), "sum_qty"),
+                AggSpec::new(AggFunc::Avg, Expr::col("price"), "avg_price"),
+                AggSpec::new(AggFunc::Count, Expr::lit(1), "cnt"),
+            ],
+            t.clone(),
+        )
+        .unwrap();
+        let out = collect(Box::new(agg)).unwrap();
+        assert_eq!(out.rows(), 2);
+        let flags = out.columns[0].as_str().unwrap();
+        let a = flags.iter().position(|f| f == "A").unwrap();
+        let b = flags.iter().position(|f| f == "B").unwrap();
+        assert_eq!(out.columns[1].as_i64().unwrap()[a], 80);
+        assert_eq!(out.columns[1].as_i64().unwrap()[b], 20);
+        assert!((out.columns[2].as_f64().unwrap()[a] - (1.0 + 3.0 + 4.0) / 3.0).abs() < 1e-9);
+        assert_eq!(out.columns[3].as_i64().unwrap()[b], 1);
+        assert!(t.peak() > 0);
+    }
+
+    #[test]
+    fn global_aggregate_without_groups() {
+        let t = MemoryTracker::new();
+        let agg = HashAggregate::new(
+            Box::new(Source::new(lineitems(), 4)),
+            &[],
+            vec![AggSpec::new(AggFunc::Sum, Expr::col("price"), "rev")],
+            t,
+        )
+        .unwrap();
+        let out = collect(Box::new(agg)).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert!((out.columns[0].as_f64().unwrap()[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_count_distinct() {
+        let t = MemoryTracker::new();
+        let agg = HashAggregate::new(
+            Box::new(Source::new(
+                vec![
+                    ("g", Column::from_i64(vec![1, 1, 1, 2])),
+                    ("v", Column::from_i64(vec![5, 5, 9, 7])),
+                ],
+                4,
+            )),
+            &["g"],
+            vec![
+                AggSpec::new(AggFunc::Min, Expr::col("v"), "mn"),
+                AggSpec::new(AggFunc::Max, Expr::col("v"), "mx"),
+                AggSpec::new(AggFunc::CountDistinct, Expr::col("v"), "nd"),
+            ],
+            t,
+        )
+        .unwrap();
+        let out = collect(Box::new(agg)).unwrap();
+        let g = out.columns[0].as_i64().unwrap();
+        let i = g.iter().position(|&x| x == 1).unwrap();
+        assert_eq!(out.columns[1].as_i64().unwrap()[i], 5);
+        assert_eq!(out.columns[2].as_i64().unwrap()[i], 9);
+        assert_eq!(out.columns[3].as_i64().unwrap()[i], 2);
+    }
+
+    #[test]
+    fn streaming_aggregate_on_sorted_input() {
+        let src = Source::new(
+            vec![
+                ("k", Column::from_i64(vec![1, 1, 2, 2, 2, 3])),
+                ("v", Column::from_i64(vec![1, 2, 3, 4, 5, 6])),
+            ],
+            2, // runs span batches
+        );
+        let agg = StreamingAggregate::new(
+            Box::new(src),
+            &["k"],
+            vec![AggSpec::new(AggFunc::Sum, Expr::col("v"), "s")],
+        )
+        .unwrap();
+        let out = collect(Box::new(agg)).unwrap();
+        assert_eq!(out.columns[0].as_i64().unwrap(), &[1, 2, 3]);
+        assert_eq!(out.columns[1].as_i64().unwrap(), &[3, 12, 6]);
+    }
+
+    #[test]
+    fn sandwich_aggregate_flushes_per_partition() {
+        // Partition column __gk determines the group key's high part.
+        let src = Source::new(
+            vec![
+                ("k", Column::from_i64(vec![10, 11, 10, 20, 21, 20])),
+                ("v", Column::from_i64(vec![1, 2, 3, 4, 5, 6])),
+                ("__gk", Column::from_i64(vec![0, 0, 0, 1, 1, 1])),
+            ],
+            2,
+        );
+        let t = MemoryTracker::new();
+        let agg = SandwichAggregate::new(
+            Box::new(src),
+            &["k"],
+            vec![AggSpec::new(AggFunc::Sum, Expr::col("v"), "s")],
+            vec![2],
+            t.clone(),
+        )
+        .unwrap();
+        let out = collect(Box::new(agg)).unwrap();
+        assert_eq!(out.rows(), 4);
+        // Keys 10,11 flushed first (partition 0), then 20,21.
+        assert_eq!(out.columns[0].as_i64().unwrap(), &[10, 11, 20, 21]);
+        assert_eq!(out.columns[1].as_i64().unwrap(), &[4, 2, 10, 5]);
+    }
+
+    #[test]
+    fn sandwich_agg_uses_less_memory_than_hash() {
+        // 1000 distinct keys spread over 100 partitions.
+        let n = 1000;
+        let k: Vec<i64> = (0..n).collect();
+        let gk: Vec<i64> = (0..n).map(|i| i / 10).collect();
+        let v: Vec<i64> = vec![1; n as usize];
+        let mk = |t: Arc<MemoryTracker>, sandwich: bool| -> u64 {
+            let src = Source::new(
+                vec![
+                    ("k", Column::from_i64(k.clone())),
+                    ("v", Column::from_i64(v.clone())),
+                    ("__gk", Column::from_i64(gk.clone())),
+                ],
+                128,
+            );
+            let aggs = vec![AggSpec::new(AggFunc::Sum, Expr::col("v"), "s")];
+            let op: BoxedOp = if sandwich {
+                Box::new(
+                    SandwichAggregate::new(Box::new(src), &["k"], aggs, vec![2], t.clone())
+                        .unwrap(),
+                )
+            } else {
+                Box::new(HashAggregate::new(Box::new(src), &["k"], aggs, t.clone()).unwrap())
+            };
+            let out = collect(op).unwrap();
+            assert_eq!(out.rows(), 1000);
+            t.peak()
+        };
+        let sandwich_peak = mk(MemoryTracker::new(), true);
+        let hash_peak = mk(MemoryTracker::new(), false);
+        assert!(
+            sandwich_peak * 10 < hash_peak,
+            "sandwich {sandwich_peak} vs hash {hash_peak}"
+        );
+    }
+}

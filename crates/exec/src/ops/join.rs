@@ -1,0 +1,445 @@
+//! Hash join (inner, left-outer, semi, anti) with optional residual
+//! predicate.
+//!
+//! The build side is the **right** child, fully materialized into a hash
+//! table keyed on integer join columns; its size is registered with the
+//! memory tracker — this is the memory the sandwich variant saves
+//! (Figure 3). Left-outer joins emit unmatched left rows with defaulted
+//! right columns plus a `__matched` 0/1 column (the engine has no NULLs;
+//! `COUNT(right.col)` compiles to `SUM(__matched)`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bdcc_storage::{Column, DataType};
+
+use crate::batch::{Batch, ColMeta, OpSchema};
+use crate::error::{ExecError, Result};
+use crate::expr::Expr;
+use crate::memory::{MemoryGuard, MemoryTracker};
+use crate::ops::{BoxedOp, Operator};
+
+/// Join flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    /// Left outer with defaulted right columns and a `__matched` flag.
+    LeftOuter,
+    /// Emit left rows with at least one (residual-passing) match.
+    Semi,
+    /// Emit left rows with no (residual-passing) match.
+    Anti,
+}
+
+/// The `__matched` column name appended by left-outer joins.
+pub const MATCHED_COLUMN: &str = "__matched";
+
+/// Materialized build side.
+struct BuildSide {
+    columns: Vec<Column>,
+    index: HashMap<Vec<i64>, Vec<u32>>,
+    _mem: MemoryGuard,
+}
+
+/// Hash join operator.
+pub struct HashJoin {
+    left: BoxedOp,
+    right: Option<BoxedOp>,
+    join_type: JoinType,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    /// Residual over (left ++ right) columns, pre-bound.
+    residual: Option<Expr>,
+    schema: OpSchema,
+    right_arity: usize,
+    build: Option<BuildSide>,
+    tracker: Arc<MemoryTracker>,
+}
+
+impl HashJoin {
+    /// Join `left` and `right` on equality of the named key columns.
+    pub fn new(
+        left: BoxedOp,
+        right: BoxedOp,
+        on: &[(&str, &str)],
+        join_type: JoinType,
+        residual: Option<Expr>,
+        tracker: Arc<MemoryTracker>,
+    ) -> Result<HashJoin> {
+        let lschema = left.schema().clone();
+        let rschema = right.schema().clone();
+        let mut left_keys = Vec::with_capacity(on.len());
+        let mut right_keys = Vec::with_capacity(on.len());
+        for (l, r) in on {
+            left_keys.push(
+                crate::batch::schema_index(&lschema, l)
+                    .ok_or_else(|| ExecError::UnknownColumn((*l).to_string()))?,
+            );
+            right_keys.push(
+                crate::batch::schema_index(&rschema, r)
+                    .ok_or_else(|| ExecError::UnknownColumn((*r).to_string()))?,
+            );
+        }
+        let mut combined = lschema.clone();
+        combined.extend(rschema.iter().cloned());
+        let residual = match residual {
+            Some(e) => Some(e.bind(&combined)?),
+            None => None,
+        };
+        let schema = match join_type {
+            JoinType::Inner => combined,
+            JoinType::LeftOuter => {
+                let mut s = combined;
+                s.push(ColMeta::new(MATCHED_COLUMN, DataType::Int));
+                s
+            }
+            JoinType::Semi | JoinType::Anti => lschema,
+        };
+        let right_arity = rschema.len();
+        Ok(HashJoin {
+            left,
+            right: Some(right),
+            join_type,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+            right_arity,
+            build: None,
+            tracker,
+        })
+    }
+
+    fn build_side(&mut self) -> Result<&BuildSide> {
+        if self.build.is_none() {
+            let mut right = self.right.take().expect("build side consumed once");
+            let rschema = right.schema().clone();
+            let mut columns: Vec<Column> =
+                rschema.iter().map(|m| Column::empty(m.data_type)).collect();
+            while let Some(batch) = right.next()? {
+                for (dst, src) in columns.iter_mut().zip(&batch.columns) {
+                    dst.append(src)?;
+                }
+            }
+            let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+            let mut index: HashMap<Vec<i64>, Vec<u32>> = HashMap::with_capacity(rows);
+            let key_cols: Vec<&[i64]> = self
+                .right_keys
+                .iter()
+                .map(|&k| columns[k].as_i64())
+                .collect::<std::result::Result<_, _>>()?;
+            for row in 0..rows {
+                let key: Vec<i64> = key_cols.iter().map(|c| c[row]).collect();
+                index.entry(key).or_default().push(row as u32);
+            }
+            // Hash-table memory: materialized payload + per-entry overhead.
+            let payload: u64 = columns
+                .iter()
+                .map(|c| (c.len() as f64 * c.avg_width()) as u64)
+                .sum();
+            let overhead = rows as u64 * (8 * self.right_keys.len() as u64 + 24);
+            let mem = self.tracker.register(payload + overhead);
+            self.build = Some(BuildSide { columns, index, _mem: mem });
+        }
+        Ok(self.build.as_ref().expect("just built"))
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> &OpSchema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        self.build_side()?;
+        while let Some(batch) = self.left.next()? {
+            let build = self.build.as_ref().expect("built");
+            let key_cols: Vec<&[i64]> = self
+                .left_keys
+                .iter()
+                .map(|&k| batch.columns[k].as_i64())
+                .collect::<std::result::Result<_, _>>()?;
+            let out = join_batch(
+                &batch,
+                build,
+                &key_cols,
+                self.join_type,
+                self.residual.as_ref(),
+                self.right_arity,
+            )?;
+            if let Some(out) = out {
+                if out.rows() > 0 {
+                    return Ok(Some(out));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn join_batch(
+    left: &Batch,
+    build: &BuildSide,
+    left_key_cols: &[&[i64]],
+    join_type: JoinType,
+    residual: Option<&Expr>,
+    right_arity: usize,
+) -> Result<Option<Batch>> {
+    let rows = left.rows();
+    // Candidate pairs.
+    let mut lidx: Vec<usize> = Vec::new();
+    let mut ridx: Vec<usize> = Vec::new();
+    let mut key = Vec::with_capacity(left_key_cols.len());
+    for row in 0..rows {
+        key.clear();
+        key.extend(left_key_cols.iter().map(|c| c[row]));
+        if let Some(matches) = build.index.get(&key) {
+            for &m in matches {
+                lidx.push(row);
+                ridx.push(m as usize);
+            }
+        }
+    }
+    // Assemble candidate pair batch (left ++ right) and apply residual.
+    let pass = |lidx: &mut Vec<usize>, ridx: &mut Vec<usize>| -> Result<Option<Batch>> {
+        let mut cols: Vec<Column> = left.columns.iter().map(|c| c.gather(lidx)).collect();
+        for rc in &build.columns {
+            cols.push(rc.gather(ridx));
+        }
+        let pairs = Batch::new(cols);
+        match residual {
+            None => Ok(Some(pairs)),
+            Some(filter) => {
+                let keep = filter.eval_bool(&pairs)?;
+                let mut k = 0;
+                lidx.retain(|_| {
+                    let r = keep[k];
+                    k += 1;
+                    r
+                });
+                let mut k = 0;
+                ridx.retain(|_| {
+                    let r = keep[k];
+                    k += 1;
+                    r
+                });
+                Ok(Some(pairs.filter(&keep)))
+            }
+        }
+    };
+    match join_type {
+        JoinType::Inner => pass(&mut lidx, &mut ridx),
+        JoinType::Semi | JoinType::Anti => {
+            pass(&mut lidx, &mut ridx)?;
+            let mut matched = vec![false; rows];
+            for &l in &lidx {
+                matched[l] = true;
+            }
+            let keep: Vec<bool> = match join_type {
+                JoinType::Semi => matched,
+                _ => matched.iter().map(|&m| !m).collect(),
+            };
+            Ok(Some(left.filter(&keep)))
+        }
+        JoinType::LeftOuter => {
+            let inner = pass(&mut lidx, &mut ridx)?.expect("inner pairs");
+            let mut matched = vec![false; rows];
+            for &l in &lidx {
+                matched[l] = true;
+            }
+            let unmatched: Vec<usize> =
+                (0..rows).filter(|&r| !matched[r]).collect();
+            // Matched pairs with flag 1.
+            let mut cols = inner.columns;
+            let matched_rows = cols.first().map(|c| c.len()).unwrap_or(0);
+            cols.push(Column::from_i64(vec![1; matched_rows]));
+            let mut out = Batch::new(cols);
+            // Unmatched left rows with defaulted right columns and flag 0.
+            if !unmatched.is_empty() {
+                let mut ucols: Vec<Column> =
+                    left.columns.iter().map(|c| c.gather(&unmatched)).collect();
+                for rc in build.columns.iter().take(right_arity) {
+                    ucols.push(default_column(rc.data_type(), unmatched.len()));
+                }
+                ucols.push(Column::from_i64(vec![0; unmatched.len()]));
+                let ub = Batch::new(ucols);
+                for (dst, src) in out.columns.iter_mut().zip(&ub.columns) {
+                    dst.append(src)?;
+                }
+            }
+            Ok(Some(out))
+        }
+    }
+}
+
+fn default_column(dt: DataType, n: usize) -> Column {
+    match dt {
+        DataType::Int => Column::from_i64(vec![0; n]),
+        DataType::Date => Column::from_dates(vec![0; n]),
+        DataType::Float => Column::from_f64(vec![0.0; n]),
+        DataType::Str => Column::from_strings(vec![String::new(); n]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::collect;
+
+    struct Source {
+        schema: OpSchema,
+        batches: Vec<Batch>,
+    }
+
+    impl Source {
+        fn new(cols: Vec<(&str, Column)>) -> Source {
+            let schema = cols.iter().map(|(n, c)| ColMeta::new(*n, c.data_type())).collect();
+            let batch = Batch::new(cols.into_iter().map(|(_, c)| c).collect());
+            Source { schema, batches: vec![batch] }
+        }
+    }
+
+    impl Operator for Source {
+        fn schema(&self) -> &OpSchema {
+            &self.schema
+        }
+        fn next(&mut self) -> Result<Option<Batch>> {
+            Ok(self.batches.pop())
+        }
+    }
+
+    fn orders() -> Source {
+        Source::new(vec![
+            ("o_orderkey", Column::from_i64(vec![1, 2, 3, 4])),
+            ("o_custkey", Column::from_i64(vec![10, 20, 10, 30])),
+        ])
+    }
+
+    fn customers() -> Source {
+        Source::new(vec![
+            ("c_custkey", Column::from_i64(vec![10, 20])),
+            ("c_name", Column::from_strings(vec!["alice".into(), "bob".into()])),
+        ])
+    }
+
+    #[test]
+    fn inner_join_matches_pairs() {
+        let t = MemoryTracker::new();
+        let j = HashJoin::new(
+            Box::new(orders()),
+            Box::new(customers()),
+            &[("o_custkey", "c_custkey")],
+            JoinType::Inner,
+            None,
+            t.clone(),
+        )
+        .unwrap();
+        let out = collect(Box::new(j)).unwrap();
+        assert_eq!(out.rows(), 3); // orders 1,2,3 match; 4 has no customer
+        let keys = out.columns[0].as_i64().unwrap();
+        assert_eq!(keys, &[1, 2, 3]);
+        assert_eq!(out.columns[3].as_str().unwrap()[0], "alice");
+        assert!(t.peak() > 0, "build side must be tracked");
+        assert_eq!(t.current(), 0, "memory released after drop");
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let t = MemoryTracker::new();
+        let j = HashJoin::new(
+            Box::new(orders()),
+            Box::new(customers()),
+            &[("o_custkey", "c_custkey")],
+            JoinType::Semi,
+            None,
+            t.clone(),
+        )
+        .unwrap();
+        let out = collect(Box::new(j)).unwrap();
+        assert_eq!(out.columns[0].as_i64().unwrap(), &[1, 2, 3]);
+        assert_eq!(out.arity(), 2); // left columns only
+
+        let j = HashJoin::new(
+            Box::new(orders()),
+            Box::new(customers()),
+            &[("o_custkey", "c_custkey")],
+            JoinType::Anti,
+            None,
+            t,
+        )
+        .unwrap();
+        let out = collect(Box::new(j)).unwrap();
+        assert_eq!(out.columns[0].as_i64().unwrap(), &[4]);
+    }
+
+    #[test]
+    fn left_outer_flags_unmatched() {
+        let t = MemoryTracker::new();
+        let j = HashJoin::new(
+            Box::new(customers()),
+            Box::new(Source::new(vec![
+                ("o_custkey", Column::from_i64(vec![10, 10])),
+                ("o_orderkey", Column::from_i64(vec![100, 101])),
+            ])),
+            &[("c_custkey", "o_custkey")],
+            JoinType::LeftOuter,
+            None,
+            t,
+        )
+        .unwrap();
+        let out = collect(Box::new(j)).unwrap();
+        // alice matches twice, bob zero times (defaulted + flag 0).
+        assert_eq!(out.rows(), 3);
+        let matched = out.columns.last().unwrap().as_i64().unwrap();
+        assert_eq!(matched.iter().sum::<i64>(), 2);
+    }
+
+    #[test]
+    fn residual_restricts_matches() {
+        let t = MemoryTracker::new();
+        // Join orders to customers but require o_orderkey >= 3.
+        let j = HashJoin::new(
+            Box::new(orders()),
+            Box::new(customers()),
+            &[("o_custkey", "c_custkey")],
+            JoinType::Inner,
+            Some(Expr::col("o_orderkey").ge(Expr::lit(3))),
+            t,
+        )
+        .unwrap();
+        let out = collect(Box::new(j)).unwrap();
+        assert_eq!(out.columns[0].as_i64().unwrap(), &[3]);
+    }
+
+    #[test]
+    fn anti_with_residual_is_not_exists() {
+        let t = MemoryTracker::new();
+        // NOT EXISTS (customer with same key and name 'alice').
+        let j = HashJoin::new(
+            Box::new(orders()),
+            Box::new(customers()),
+            &[("o_custkey", "c_custkey")],
+            JoinType::Anti,
+            Some(Expr::col("c_name").eq(Expr::lit("alice"))),
+            t,
+        )
+        .unwrap();
+        let out = collect(Box::new(j)).unwrap();
+        // Orders 2 (bob) and 4 (no customer) survive.
+        assert_eq!(out.columns[0].as_i64().unwrap(), &[2, 4]);
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let t = MemoryTracker::new();
+        assert!(HashJoin::new(
+            Box::new(orders()),
+            Box::new(customers()),
+            &[("nope", "c_custkey")],
+            JoinType::Inner,
+            None,
+            t,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,673 @@
+//! The per-scheme physical planner.
+//!
+//! One logical plan, three physical strategies:
+//!
+//! * **Plain** — plain scans (MinMax pruning), hash joins, hash
+//!   aggregation.
+//! * **PK** — plain scans over PK-sorted tables; merge joins when both
+//!   inputs arrive ordered on the join key (LINEITEM–ORDERS,
+//!   PARTSUPP–PART); streaming aggregation when the input order covers the
+//!   group-by keys.
+//! * **BDCC** — scatter scans over the selected count-table groups
+//!   (selection pushdown + propagation computed by [`crate::restrict`]),
+//!   **sandwich joins** for foreign-key joins whose sides share a
+//!   dimension instance (`P(U_left) = FK · P(U_right)`), and **sandwich
+//!   aggregation** when the group-by keys functionally determine a
+//!   dimension use of the input.
+//!
+//! Sandwich planning works by *instance negotiation*: bottom-up, each
+//! subtree advertises the dimension instances it could stream grouped-by
+//! ([`avail`]); top-down, parents request a grouping order; scatter scans
+//! satisfy any requested order (that is what makes them scatter scans).
+
+use std::sync::Arc;
+
+use bdcc_catalog::{ForeignKey, TableId};
+use bdcc_core::BdccTable;
+use bdcc_storage::IoTracker;
+
+use crate::error::{ExecError, Result};
+use crate::expr::Expr;
+use crate::memory::MemoryTracker;
+use crate::ops::agg::{HashAggregate, SandwichAggregate, StreamingAggregate};
+use crate::ops::bdcc_scan::{BdccScan, GroupSpec};
+use crate::ops::join::{HashJoin, JoinType};
+use crate::ops::merge_join::MergeJoin;
+use crate::ops::sandwich_join::SandwichHashJoin;
+use crate::ops::scan::PlainScan;
+use crate::ops::sort::{Limit, Sort};
+use crate::ops::transform::{Filter, Project};
+use crate::ops::BoxedOp;
+use crate::plan::{alias_column, FkSide, Node};
+use crate::restrict::{compute_restrictions, Restrictions};
+use crate::scheme::{Scheme, SchemeDb};
+
+/// Everything a query execution needs.
+#[derive(Clone)]
+pub struct QueryContext {
+    pub sdb: Arc<SchemeDb>,
+    pub tracker: Arc<MemoryTracker>,
+    pub io: IoTracker,
+}
+
+impl QueryContext {
+    pub fn new(sdb: Arc<SchemeDb>) -> QueryContext {
+        QueryContext { sdb, tracker: MemoryTracker::new(), io: IoTracker::new() }
+    }
+}
+
+/// Plan a logical tree into a physical operator under the context's scheme.
+pub fn plan_query(ctx: &QueryContext, node: &Node) -> Result<BoxedOp> {
+    let restrictions = if ctx.sdb.scheme == Scheme::Bdcc {
+        compute_restrictions(node, &ctx.sdb)?
+    } else {
+        Restrictions::new()
+    };
+    let planner = Planner { ctx, restrictions };
+    let out = planner.build(node, &[])?;
+    Ok(out.op)
+}
+
+/// One `(scan, dimension use)` occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InstAlias {
+    scan_id: usize,
+    use_idx: usize,
+}
+
+/// An equivalence class of dimension-use occurrences unified by foreign-key
+/// joins, with the negotiated prefix bits.
+#[derive(Debug, Clone)]
+struct InstSet {
+    aliases: Vec<InstAlias>,
+    bits: u32,
+}
+
+impl InstSet {
+    fn alias_for(&self, scan_ids: &[usize]) -> Option<InstAlias> {
+        self.aliases.iter().copied().find(|a| scan_ids.contains(&a.scan_id))
+    }
+}
+
+/// Physical subtree plus the positions of the requested group-key columns.
+struct PhysOut {
+    op: BoxedOp,
+    gk_cols: Vec<usize>,
+}
+
+struct Planner<'a> {
+    ctx: &'a QueryContext,
+    restrictions: Restrictions,
+}
+
+impl<'a> Planner<'a> {
+    fn catalog(&self) -> &bdcc_catalog::Catalog {
+        self.ctx.sdb.db.catalog()
+    }
+
+    fn clustered(&self, table: TableId) -> Option<&BdccTable> {
+        self.ctx.sdb.bdcc.as_ref().and_then(|s| s.tables.get(&table))
+    }
+
+    fn fk_by_name(&self, name: &str) -> Option<&ForeignKey> {
+        self.catalog().fks().iter().find(|f| f.name == name)
+    }
+
+    // -----------------------------------------------------------------
+    // Availability analysis (bottom-up).
+    // -----------------------------------------------------------------
+
+    /// Dimension instances this subtree can stream grouped-by.
+    fn avail(&self, node: &Node) -> Vec<InstSet> {
+        if self.ctx.sdb.scheme != Scheme::Bdcc {
+            return Vec::new();
+        }
+        match node {
+            Node::Scan { scan_id, table, .. } => {
+                let Ok(tid) = self.catalog().table_id(table) else { return Vec::new() };
+                let Some(bt) = self.clustered(tid) else { return Vec::new() };
+                (0..bt.uses.len())
+                    .filter_map(|u| {
+                        let bits = bt.use_bits_at_granularity(u);
+                        (bits > 0).then(|| InstSet {
+                            aliases: vec![InstAlias { scan_id: *scan_id, use_idx: u }],
+                            bits,
+                        })
+                    })
+                    .collect()
+            }
+            Node::Filter { input, .. } | Node::Project { input, .. } => self.avail(input),
+            Node::Join { left, right, join_type, fk, .. } => {
+                let la = self.avail(left);
+                match join_type {
+                    JoinType::Inner => {
+                        let ra = self.avail(right);
+                        let mut merged = Vec::new();
+                        let mut used_left: Vec<usize> = Vec::new();
+                        if let Some((fk_name, side)) = fk {
+                            if let Some(f) = self.fk_by_name(fk_name) {
+                                // Normalize: `src` side references `dst`.
+                                let (src_av, dst_av, src_is_left) = match side {
+                                    FkSide::Left => (&la, &ra, true),
+                                    FkSide::Right => (&ra, &la, false),
+                                };
+                                for (si, ss) in src_av.iter().enumerate() {
+                                    for ds in dst_av.iter() {
+                                        if self.sets_match(ss, ds, f, node) {
+                                            let mut aliases = ss.aliases.clone();
+                                            aliases.extend(ds.aliases.iter().copied());
+                                            merged.push(InstSet {
+                                                aliases,
+                                                bits: ss.bits.min(ds.bits),
+                                            });
+                                            if src_is_left {
+                                                used_left.push(si);
+                                            }
+                                            break;
+                                        }
+                                    }
+                                }
+                                if !src_is_left {
+                                    // Mark left sets that merged.
+                                    for (li, ls) in la.iter().enumerate() {
+                                        if merged.iter().any(|m| {
+                                            ls.aliases.iter().any(|a| m.aliases.contains(a))
+                                        }) {
+                                            used_left.push(li);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        // Left (probe-side) grouping survives a hash join.
+                        for (li, ls) in la.into_iter().enumerate() {
+                            if !used_left.contains(&li) {
+                                merged.push(ls);
+                            }
+                        }
+                        merged
+                    }
+                    // Semi/anti joins keep the left rows (and order).
+                    JoinType::Semi | JoinType::Anti => la,
+                    JoinType::LeftOuter => Vec::new(),
+                }
+            }
+            Node::Aggregate { .. } | Node::Sort { .. } | Node::Limit { .. } => Vec::new(),
+        }
+    }
+
+    /// Do two instance sets refer to the same dimension instance across
+    /// foreign key `f`? True iff some alias on the referencing side has
+    /// path `[f] ++ path` of some alias on the referenced side.
+    fn sets_match(&self, src: &InstSet, dst: &InstSet, f: &ForeignKey, node: &Node) -> bool {
+        let tables = self.scan_tables(node);
+        for sa in &src.aliases {
+            let Some(&st) = tables.iter().find(|(id, _)| *id == sa.scan_id).map(|(_, t)| t)
+            else {
+                continue;
+            };
+            if st != f.from_table {
+                continue;
+            }
+            let Some(sbt) = self.clustered(st) else { continue };
+            let su = &sbt.uses[sa.use_idx];
+            if su.path.first() != Some(&f.id) {
+                continue;
+            }
+            for da in &dst.aliases {
+                let Some(&dt) = tables.iter().find(|(id, _)| *id == da.scan_id).map(|(_, t)| t)
+                else {
+                    continue;
+                };
+                if dt != f.to_table {
+                    continue;
+                }
+                let Some(dbt) = self.clustered(dt) else { continue };
+                let du = &dbt.uses[da.use_idx];
+                if su.dim == du.dim && su.path[1..] == du.path[..] {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `(scan_id, table)` pairs in a subtree.
+    fn scan_tables(&self, node: &Node) -> Vec<(usize, TableId)> {
+        let mut out = Vec::new();
+        node.visit_scans(&mut |id, table, _| {
+            if let Ok(t) = self.catalog().table_id(table) {
+                out.push((id, t));
+            }
+        });
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Ordering analysis (for the PK scheme).
+    // -----------------------------------------------------------------
+
+    /// Column ordering of the subtree's output (empty = unordered).
+    fn col_order(&self, node: &Node) -> Vec<String> {
+        match node {
+            Node::Scan { table, alias, .. } => {
+                if self.ctx.sdb.scheme != Scheme::Pk {
+                    return Vec::new();
+                }
+                let Ok(tid) = self.catalog().table_id(table) else { return Vec::new() };
+                let pk = &self.catalog().table(tid).primary_key;
+                pk.iter()
+                    .map(|c| match alias {
+                        Some(a) => alias_column(a, c),
+                        None => c.clone(),
+                    })
+                    .collect()
+            }
+            Node::Filter { input, .. } => self.col_order(input),
+            Node::Project { input, exprs } => {
+                let inner = self.col_order(input);
+                // Longest prefix of the order that survives the projection
+                // as plain column references.
+                let mut out = Vec::new();
+                for c in inner {
+                    let kept = exprs.iter().find(|(e, _)| matches!(e, Expr::Col(n) if n == &c));
+                    match kept {
+                        Some((_, name)) => out.push(name.clone()),
+                        None => break,
+                    }
+                }
+                out
+            }
+            Node::Join { left, join_type, .. } => match join_type {
+                JoinType::Inner | JoinType::Semi | JoinType::Anti => self.col_order(left),
+                JoinType::LeftOuter => Vec::new(),
+            },
+            Node::Sort { keys, .. } => keys
+                .iter()
+                .take_while(|k| k.ascending)
+                .map(|k| k.column.clone())
+                .collect(),
+            Node::Aggregate { .. } | Node::Limit { .. } => Vec::new(),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Physical build (top-down, with requested grouping).
+    // -----------------------------------------------------------------
+
+    fn build(&self, node: &Node, requested: &[InstSet]) -> Result<PhysOut> {
+        match node {
+            Node::Scan { scan_id, table, columns, predicates, alias } => {
+                self.build_scan(*scan_id, table, columns, predicates, alias.as_deref(), requested)
+            }
+            Node::Filter { input, predicate } => {
+                let child = self.build(input, requested)?;
+                let op = Filter::new(child.op, predicate.clone())?;
+                Ok(PhysOut { op: Box::new(op), gk_cols: child.gk_cols })
+            }
+            Node::Project { input, exprs } => {
+                let child = self.build(input, requested)?;
+                let child_schema = child.op.schema().clone();
+                let mut all: Vec<(Expr, String)> = exprs.clone();
+                let base = all.len();
+                let mut gk_cols = Vec::with_capacity(child.gk_cols.len());
+                for (i, &gc) in child.gk_cols.iter().enumerate() {
+                    let name = child_schema[gc].name.clone();
+                    all.push((Expr::col(&name), name));
+                    gk_cols.push(base + i);
+                }
+                let op = Project::new(child.op, all)?;
+                Ok(PhysOut { op: Box::new(op), gk_cols })
+            }
+            Node::Join { left, right, on, join_type, fk, residual } => {
+                self.build_join(node, left, right, on, *join_type, fk.as_ref(), residual, requested)
+            }
+            Node::Aggregate { input, group_by, aggs } => {
+                debug_assert!(requested.is_empty(), "nothing groups through an aggregate");
+                self.build_aggregate(input, group_by, aggs)
+            }
+            Node::Sort { input, keys, limit } => {
+                let child = self.build(input, &[])?;
+                let op = Sort::new(child.op, keys, *limit, Arc::clone(&self.ctx.tracker))?;
+                Ok(PhysOut { op: Box::new(op), gk_cols: vec![] })
+            }
+            Node::Limit { input, n } => {
+                let child = self.build(input, &[])?;
+                Ok(PhysOut { op: Box::new(Limit::new(child.op, *n)), gk_cols: vec![] })
+            }
+        }
+    }
+
+    fn build_scan(
+        &self,
+        scan_id: usize,
+        table: &str,
+        columns: &[String],
+        predicates: &[crate::pred::ColPredicate],
+        alias: Option<&str>,
+        requested: &[InstSet],
+    ) -> Result<PhysOut> {
+        let tid = self.catalog().table_id(table)?;
+        let stored = self
+            .ctx
+            .sdb
+            .db
+            .stored(tid)
+            .ok_or_else(|| ExecError::Plan(format!("no storage for {table}")))?
+            .clone();
+        let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+        let (op, gk_cols): (BoxedOp, Vec<usize>) = match (self.ctx.sdb.scheme, self.clustered(tid))
+        {
+            (Scheme::Bdcc, Some(bt)) => {
+                // Group selection: every restricted use must admit the
+                // group's bin prefix.
+                type ActiveUse = (usize, Vec<(u64, u64)>, u32);
+                let mut active: Vec<ActiveUse> = Vec::new();
+                let schema = self.ctx.sdb.bdcc.as_ref().expect("bdcc scheme");
+                for (use_idx, u) in bt.uses.iter().enumerate() {
+                    if let Some(ranges) = self.restrictions.get(&(scan_id, use_idx)) {
+                        let dim_bits = schema.dimension(u.dim).bits();
+                        let avail_bits = bt.use_bits_at_granularity(use_idx);
+                        let shift = dim_bits - avail_bits;
+                        active.push((use_idx, ranges.clone(), shift));
+                    }
+                }
+                let mut selected: Vec<(u64, &bdcc_core::GroupEntry)> = Vec::new();
+                'groups: for g in bt.count.iter() {
+                    for (use_idx, ranges, shift) in &active {
+                        let prefix = bt.group_bin_prefix(*use_idx, g.key);
+                        // The group's prefix covers the full-granularity
+                        // bin interval [prefix<<shift, (prefix+1)<<shift).
+                        let lo = prefix << shift;
+                        let hi = (prefix << shift) + ((1u64 << shift) - 1);
+                        let overlaps =
+                            ranges.iter().any(|&(rlo, rhi)| rlo <= hi && lo <= rhi);
+                        if !overlaps {
+                            continue 'groups;
+                        }
+                    }
+                    selected.push((g.key, g));
+                }
+                // Requested group keys per group, in requested order.
+                let mut specs: Vec<GroupSpec> = Vec::with_capacity(selected.len());
+                let mut names = Vec::with_capacity(requested.len());
+                let scan_ids = [scan_id];
+                let mut req_uses: Vec<(usize, u32)> = Vec::with_capacity(requested.len());
+                for set in requested {
+                    let a = set.alias_for(&scan_ids).ok_or_else(|| {
+                        ExecError::Plan(format!("requested instance not available on {table}"))
+                    })?;
+                    names.push(format!("__gk_{}_{}", scan_id, a.use_idx));
+                    req_uses.push((a.use_idx, set.bits));
+                }
+                for (key, g) in &selected {
+                    let gks = req_uses
+                        .iter()
+                        .map(|&(u, bits)| {
+                            let own = bt.use_bits_at_granularity(u);
+                            let full = bt.group_bin_prefix(u, *key);
+                            (full >> (own - bits)) as i64
+                        })
+                        .collect();
+                    specs.push(GroupSpec { start: g.start, count: g.count, group_keys: gks });
+                }
+                if !requested.is_empty() {
+                    // Scatter order: requested keys major-to-minor.
+                    specs.sort_by(|a, b| a.group_keys.cmp(&b.group_keys));
+                }
+                let scan = BdccScan::new(
+                    Arc::clone(&stored),
+                    self.ctx.io.clone(),
+                    &col_refs,
+                    predicates.to_vec(),
+                    &names,
+                    specs,
+                )?;
+                let base = columns.len();
+                (Box::new(scan), (0..requested.len()).map(|i| base + i).collect())
+            }
+            _ => {
+                if !requested.is_empty() {
+                    return Err(ExecError::Plan(format!(
+                        "grouping requested from unclustered table {table}"
+                    )));
+                }
+                let scan = PlainScan::new(
+                    Arc::clone(&stored),
+                    self.ctx.io.clone(),
+                    &col_refs,
+                    predicates.to_vec(),
+                )?;
+                (Box::new(scan), vec![])
+            }
+        };
+        // Alias: rename base columns, keep group keys.
+        match alias {
+            None => Ok(PhysOut { op, gk_cols }),
+            Some(a) => {
+                let schema = op.schema().clone();
+                let exprs: Vec<(Expr, String)> = schema
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| {
+                        let name = if gk_cols.contains(&i) {
+                            m.name.clone()
+                        } else {
+                            alias_column(a, &m.name)
+                        };
+                        (Expr::ColIdx(i), name)
+                    })
+                    .collect();
+                let p = Project::new(op, exprs)?;
+                Ok(PhysOut { op: Box::new(p), gk_cols })
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_join(
+        &self,
+        node: &Node,
+        left: &Node,
+        right: &Node,
+        on: &[(String, String)],
+        join_type: JoinType,
+        fk: Option<&(String, FkSide)>,
+        residual: &Option<Expr>,
+        requested: &[InstSet],
+    ) -> Result<PhysOut> {
+        let on_refs: Vec<(&str, &str)> = on.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
+        let left_ids = left.scan_ids();
+        let right_ids = right.scan_ids();
+
+        // --- BDCC: try a sandwich join -----------------------------------
+        if self.ctx.sdb.scheme == Scheme::Bdcc && join_type == JoinType::Inner {
+            if let Some((fk_name, side)) = fk {
+                if let Some(f) = self.fk_by_name(fk_name).cloned() {
+                    let la = self.avail(left);
+                    let ra = self.avail(right);
+                    // Shared sets: one alias on each side, matched over f.
+                    let mut shared: Vec<InstSet> = Vec::new();
+                    let (src_av, dst_av) = match side {
+                        FkSide::Left => (&la, &ra),
+                        FkSide::Right => (&ra, &la),
+                    };
+                    for ss in src_av {
+                        for ds in dst_av {
+                            if self.sets_match(ss, ds, &f, node) {
+                                let mut aliases = ss.aliases.clone();
+                                aliases.extend(ds.aliases.iter().copied());
+                                shared.push(InstSet { aliases, bits: ss.bits.min(ds.bits) });
+                                break;
+                            }
+                        }
+                    }
+                    let two_sided = |s: &InstSet| {
+                        s.alias_for(&left_ids).is_some() && s.alias_for(&right_ids).is_some()
+                    };
+                    let all_requested_two_sided = requested.iter().all(|r| {
+                        shared.iter().any(|s| {
+                            r.aliases.iter().any(|a| s.aliases.contains(a))
+                        })
+                    });
+                    if !shared.is_empty() && all_requested_two_sided {
+                        // Sandwich keys: requested first (resolved to the
+                        // merged sets), then remaining shared instances.
+                        let mut keys: Vec<InstSet> = Vec::new();
+                        for r in requested {
+                            let m = shared
+                                .iter()
+                                .find(|s| r.aliases.iter().any(|a| s.aliases.contains(a)))
+                                .expect("checked two-sided");
+                            keys.push(InstSet {
+                                aliases: m.aliases.clone(),
+                                bits: r.bits.min(m.bits),
+                            });
+                        }
+                        for s in &shared {
+                            let already = keys.iter().any(|k| {
+                                s.aliases.iter().any(|a| k.aliases.contains(a))
+                            });
+                            if !already && two_sided(s) {
+                                keys.push(s.clone());
+                            }
+                        }
+                        if keys.iter().all(two_sided) && !keys.is_empty() {
+                            let lreq: Vec<InstSet> = keys.clone();
+                            let rreq: Vec<InstSet> = keys.clone();
+                            let lout = self.build(left, &lreq)?;
+                            let rout = self.build(right, &rreq)?;
+                            let j = SandwichHashJoin::new(
+                                lout.op,
+                                rout.op,
+                                &on_refs,
+                                lout.gk_cols.clone(),
+                                rout.gk_cols,
+                                residual.clone(),
+                                Arc::clone(&self.ctx.tracker),
+                            )?;
+                            // Output keeps the left columns at unchanged
+                            // positions; requested = the first
+                            // `requested.len()` sandwich keys.
+                            let gk_cols = lout.gk_cols[..requested.len()].to_vec();
+                            return Ok(PhysOut { op: Box::new(j), gk_cols });
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- PK: merge join when both sides are ordered on the key -------
+        if self.ctx.sdb.scheme == Scheme::Pk
+            && join_type == JoinType::Inner
+            && on.len() == 1
+            && residual.is_none()
+            && requested.is_empty()
+        {
+            let lord = self.col_order(left);
+            let rord = self.col_order(right);
+            if lord.first().map(|c| c.as_str()) == Some(on[0].0.as_str())
+                && rord.first().map(|c| c.as_str()) == Some(on[0].1.as_str())
+            {
+                let lout = self.build(left, &[])?;
+                let rout = self.build(right, &[])?;
+                let j = MergeJoin::new(lout.op, rout.op, (&on[0].0, &on[0].1))?;
+                return Ok(PhysOut { op: Box::new(j), gk_cols: vec![] });
+            }
+        }
+
+        // --- Fallback: hash join; left-side grouping passes through ------
+        let left_req: Vec<InstSet> = requested.to_vec();
+        for r in &left_req {
+            if r.alias_for(&left_ids).is_none() {
+                return Err(ExecError::Plan(
+                    "requested grouping not available through hash join".into(),
+                ));
+            }
+        }
+        let lout = self.build(left, &left_req)?;
+        let rout = self.build(right, &[])?;
+        let j = HashJoin::new(
+            lout.op,
+            rout.op,
+            &on_refs,
+            join_type,
+            residual.clone(),
+            Arc::clone(&self.ctx.tracker),
+        )?;
+        Ok(PhysOut { op: Box::new(j), gk_cols: lout.gk_cols })
+    }
+
+    fn build_aggregate(
+        &self,
+        input: &Node,
+        group_by: &[String],
+        aggs: &[crate::ops::agg::AggSpec],
+    ) -> Result<PhysOut> {
+        let gb_refs: Vec<&str> = group_by.iter().map(|s| s.as_str()).collect();
+
+        // BDCC: sandwich aggregation on determined instances.
+        if self.ctx.sdb.scheme == Scheme::Bdcc && !group_by.is_empty() {
+            let av = self.avail(input);
+            let determined: Vec<InstSet> = av
+                .into_iter()
+                .filter(|s| self.determined_by(s, input, group_by))
+                .collect();
+            if !determined.is_empty() {
+                let child = self.build(input, &determined)?;
+                let op = SandwichAggregate::new(
+                    child.op,
+                    &gb_refs,
+                    aggs.to_vec(),
+                    child.gk_cols,
+                    Arc::clone(&self.ctx.tracker),
+                )?;
+                return Ok(PhysOut { op: Box::new(op), gk_cols: vec![] });
+            }
+        }
+
+        // PK (or anything ordered): streaming aggregation.
+        if !group_by.is_empty() {
+            let order = self.col_order(input);
+            let covered = group_by.len() <= order.len()
+                && order[..group_by.len()].iter().all(|c| group_by.contains(c));
+            if covered {
+                let child = self.build(input, &[])?;
+                let op = StreamingAggregate::new(child.op, &gb_refs, aggs.to_vec())?;
+                return Ok(PhysOut { op: Box::new(op), gk_cols: vec![] });
+            }
+        }
+
+        let child = self.build(input, &[])?;
+        let op =
+            HashAggregate::new(child.op, &gb_refs, aggs.to_vec(), Arc::clone(&self.ctx.tracker))?;
+        Ok(PhysOut { op: Box::new(op), gk_cols: vec![] })
+    }
+
+    /// Do the group-by keys functionally determine instance `set` in
+    /// `input`? True when some alias `(scan S of table T, use U)` satisfies:
+    /// the head of `U`'s path is a foreign key whose source columns are all
+    /// in the group-by set (an FK value determines everything it
+    /// references), or `U` is local and its dimension key ⊆ group-by.
+    fn determined_by(&self, set: &InstSet, input: &Node, group_by: &[String]) -> bool {
+        let tables = self.scan_tables(input);
+        for a in &set.aliases {
+            let Some(&t) = tables.iter().find(|(id, _)| *id == a.scan_id).map(|(_, t)| t) else {
+                continue;
+            };
+            let Some(bt) = self.clustered(t) else { continue };
+            let u = &bt.uses[a.use_idx];
+            let determining_cols: Vec<String> = match u.path.first() {
+                Some(&fk) => self.catalog().fk(fk).from_columns.clone(),
+                None => {
+                    let schema = self.ctx.sdb.bdcc.as_ref().expect("bdcc");
+                    schema.dimension(u.dim).key.clone()
+                }
+            };
+            if determining_cols.iter().all(|c| group_by.contains(c)) {
+                return true;
+            }
+        }
+        false
+    }
+}

@@ -1,0 +1,350 @@
+//! Typed column vectors.
+//!
+//! A [`Column`] is the unit of storage and of data exchange between
+//! operators: a contiguous, homogeneously typed vector. Integer-backed types
+//! (`Int`, `Date`) share the `I64` representation but remember their logical
+//! type so schema information survives through the executor.
+
+use crate::error::{Result, StorageError};
+use crate::value::{DataType, Datum};
+
+/// A typed vector of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer-backed values; `logical` distinguishes `Int` from `Date`.
+    I64 { values: Vec<i64>, logical: DataType },
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// UTF-8 strings.
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(dt: DataType) -> Column {
+        match dt {
+            DataType::Int | DataType::Date => Column::I64 { values: Vec::new(), logical: dt },
+            DataType::Float => Column::F64(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+        }
+    }
+
+    /// Integer column with logical type `Int`.
+    pub fn from_i64(values: Vec<i64>) -> Column {
+        Column::I64 { values, logical: DataType::Int }
+    }
+
+    /// Integer-backed column with logical type `Date`.
+    pub fn from_dates(values: Vec<i64>) -> Column {
+        Column::I64 { values, logical: DataType::Date }
+    }
+
+    /// Float column.
+    pub fn from_f64(values: Vec<f64>) -> Column {
+        Column::F64(values)
+    }
+
+    /// String column.
+    pub fn from_strings(values: Vec<String>) -> Column {
+        Column::Str(values)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64 { values, .. } => values.len(),
+            Column::F64(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The logical data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::I64 { logical, .. } => *logical,
+            Column::F64(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Borrow the `i64` payload of an integer-backed column.
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match self {
+            Column::I64 { values, .. } => Ok(values),
+            other => Err(StorageError::TypeMismatch {
+                expected: "i64",
+                actual: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// Borrow the `f64` payload.
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match self {
+            Column::F64(values) => Ok(values),
+            other => Err(StorageError::TypeMismatch {
+                expected: "f64",
+                actual: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// Borrow the string payload.
+    pub fn as_str(&self) -> Result<&[String]> {
+        match self {
+            Column::Str(values) => Ok(values),
+            other => Err(StorageError::TypeMismatch {
+                expected: "str",
+                actual: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// The value at `row` as an owned [`Datum`].
+    pub fn datum(&self, row: usize) -> Datum {
+        match self {
+            Column::I64 { values, logical: DataType::Date } => Datum::Date(values[row]),
+            Column::I64 { values, .. } => Datum::Int(values[row]),
+            Column::F64(values) => Datum::Float(values[row]),
+            Column::Str(values) => Datum::Str(values[row].clone()),
+        }
+    }
+
+    /// Gather rows by index into a new column. Indices must be in range.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::I64 { values, logical } => Column::I64 {
+                values: indices.iter().map(|&i| values[i]).collect(),
+                logical: *logical,
+            },
+            Column::F64(values) => Column::F64(indices.iter().map(|&i| values[i]).collect()),
+            Column::Str(values) => {
+                Column::Str(indices.iter().map(|&i| values[i].clone()).collect())
+            }
+        }
+    }
+
+    /// Keep only rows whose `keep` flag is set. `keep.len()` must equal
+    /// `self.len()`.
+    pub fn filter(&self, keep: &[bool]) -> Column {
+        debug_assert_eq!(keep.len(), self.len());
+        match self {
+            Column::I64 { values, logical } => Column::I64 {
+                values: values
+                    .iter()
+                    .zip(keep)
+                    .filter_map(|(v, &k)| k.then_some(*v))
+                    .collect(),
+                logical: *logical,
+            },
+            Column::F64(values) => Column::F64(
+                values.iter().zip(keep).filter_map(|(v, &k)| k.then_some(*v)).collect(),
+            ),
+            Column::Str(values) => Column::Str(
+                values
+                    .iter()
+                    .zip(keep)
+                    .filter(|&(_, &k)| k)
+                    .map(|(v, _)| v.clone())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Copy rows `[start, end)` into a new column.
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        match self {
+            Column::I64 { values, logical } => {
+                Column::I64 { values: values[start..end].to_vec(), logical: *logical }
+            }
+            Column::F64(values) => Column::F64(values[start..end].to_vec()),
+            Column::Str(values) => Column::Str(values[start..end].to_vec()),
+        }
+    }
+
+    /// Append all rows of `other` (same type) to `self`.
+    pub fn append(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::I64 { values: a, .. }, Column::I64 { values: b, .. }) => {
+                a.extend_from_slice(b);
+                Ok(())
+            }
+            (Column::F64(a), Column::F64(b)) => {
+                a.extend_from_slice(b);
+                Ok(())
+            }
+            (Column::Str(a), Column::Str(b)) => {
+                a.extend_from_slice(b);
+                Ok(())
+            }
+            (a, b) => Err(StorageError::TypeMismatch {
+                expected: a.data_type().name(),
+                actual: b.data_type().name(),
+            }),
+        }
+    }
+
+    /// Push a single [`Datum`] (must match the column type).
+    pub fn push(&mut self, d: Datum) -> Result<()> {
+        match (self, d) {
+            (Column::I64 { values, .. }, Datum::Int(v) | Datum::Date(v)) => {
+                values.push(v);
+                Ok(())
+            }
+            (Column::F64(values), Datum::Float(v)) => {
+                values.push(v);
+                Ok(())
+            }
+            (Column::Str(values), Datum::Str(v)) => {
+                values.push(v);
+                Ok(())
+            }
+            (col, d) => Err(StorageError::TypeMismatch {
+                expected: col.data_type().name(),
+                actual: d.data_type().name(),
+            }),
+        }
+    }
+
+    /// Average stored width in bytes (exact for fixed-width types, measured
+    /// for strings). Used by the I/O cost model; strings add one length byte.
+    pub fn avg_width(&self) -> f64 {
+        match self {
+            Column::I64 { .. } | Column::F64(_) => 8.0,
+            Column::Str(values) => {
+                if values.is_empty() {
+                    1.0
+                } else {
+                    let total: usize = values.iter().map(|s| s.len() + 1).sum();
+                    total as f64 / values.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// Incremental builder used by data generators: pushes datums of one type
+/// and finishes into a [`Column`].
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    column: Column,
+}
+
+impl ColumnBuilder {
+    /// A builder for the given type, pre-sized for `capacity` rows.
+    pub fn with_capacity(dt: DataType, capacity: usize) -> ColumnBuilder {
+        let column = match dt {
+            DataType::Int | DataType::Date => {
+                Column::I64 { values: Vec::with_capacity(capacity), logical: dt }
+            }
+            DataType::Float => Column::F64(Vec::with_capacity(capacity)),
+            DataType::Str => Column::Str(Vec::with_capacity(capacity)),
+        };
+        ColumnBuilder { column }
+    }
+
+    /// Push an `i64` (valid for `Int` and `Date` columns).
+    pub fn push_i64(&mut self, v: i64) {
+        match &mut self.column {
+            Column::I64 { values, .. } => values.push(v),
+            _ => panic!("push_i64 on non-integer column"),
+        }
+    }
+
+    /// Push an `f64`.
+    pub fn push_f64(&mut self, v: f64) {
+        match &mut self.column {
+            Column::F64(values) => values.push(v),
+            _ => panic!("push_f64 on non-float column"),
+        }
+    }
+
+    /// Push a string.
+    pub fn push_str(&mut self, v: String) {
+        match &mut self.column {
+            Column::Str(values) => values.push(v),
+            _ => panic!("push_str on non-string column"),
+        }
+    }
+
+    /// Finish and return the built column.
+    pub fn finish(self) -> Column {
+        self.column
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_and_filter() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        assert_eq!(c.gather(&[3, 0, 0]), Column::from_i64(vec![40, 10, 10]));
+        assert_eq!(
+            c.filter(&[true, false, true, false]),
+            Column::from_i64(vec![10, 30])
+        );
+    }
+
+    #[test]
+    fn date_columns_keep_logical_type() {
+        let c = Column::from_dates(vec![1, 2]);
+        assert_eq!(c.data_type(), DataType::Date);
+        assert_eq!(c.datum(0), Datum::Date(1));
+        assert_eq!(c.slice(1, 2).data_type(), DataType::Date);
+        assert_eq!(c.gather(&[0]).data_type(), DataType::Date);
+    }
+
+    #[test]
+    fn append_type_checks() {
+        let mut a = Column::from_i64(vec![1]);
+        assert!(a.append(&Column::from_i64(vec![2])).is_ok());
+        assert_eq!(a.len(), 2);
+        assert!(a.append(&Column::from_f64(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn push_datum() {
+        let mut c = Column::empty(DataType::Str);
+        c.push(Datum::Str("a".into())).unwrap();
+        assert!(c.push(Datum::Int(1)).is_err());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = ColumnBuilder::with_capacity(DataType::Float, 2);
+        b.push_f64(1.5);
+        b.push_f64(-2.5);
+        let c = b.finish();
+        assert_eq!(c.as_f64().unwrap(), &[1.5, -2.5]);
+    }
+
+    #[test]
+    fn avg_width_strings() {
+        let c = Column::from_strings(vec!["ab".into(), "abcd".into()]);
+        // (2+1 + 4+1) / 2 = 4
+        assert!((c.avg_width() - 4.0).abs() < 1e-9);
+        assert_eq!(Column::from_i64(vec![1]).avg_width(), 8.0);
+    }
+
+    #[test]
+    fn slice_copies_range() {
+        let c = Column::from_strings(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(c.slice(1, 3), Column::from_strings(vec!["b".into(), "c".into()]));
+    }
+
+    #[test]
+    fn accessors_type_check() {
+        let c = Column::from_i64(vec![1]);
+        assert!(c.as_i64().is_ok());
+        assert!(c.as_f64().is_err());
+        assert!(c.as_str().is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column was addressed by a name the table does not contain.
+    UnknownColumn(String),
+    /// A column was addressed by an index outside the table's arity.
+    ColumnIndexOutOfRange { index: usize, arity: usize },
+    /// An operation mixed columns of different lengths.
+    LengthMismatch { expected: usize, actual: usize },
+    /// An operation expected one [`crate::DataType`] but found another.
+    TypeMismatch { expected: &'static str, actual: &'static str },
+    /// A row index was outside the table's cardinality.
+    RowOutOfRange { row: usize, rows: usize },
+    /// Catch-all for invalid arguments (empty schema, duplicate names, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            StorageError::ColumnIndexOutOfRange { index, arity } => {
+                write!(f, "column index {index} out of range (arity {arity})")
+            }
+            StorageError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            StorageError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            StorageError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (table has {rows} rows)")
+            }
+            StorageError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::UnknownColumn("l_shipdate".into());
+        assert!(e.to_string().contains("l_shipdate"));
+        let e = StorageError::LengthMismatch { expected: 3, actual: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e = StorageError::TypeMismatch { expected: "i64", actual: "str" };
+        assert!(e.to_string().contains("i64"));
+    }
+}

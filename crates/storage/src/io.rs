@@ -1,0 +1,322 @@
+//! I/O accounting and the device cost model.
+//!
+//! The paper's Algorithm 1 tunes the count-table granularity against the
+//! *efficient random access size* `AR`: the request size at which random
+//! reads approach sequential throughput (§III — "a few MB for magnetic
+//! disks, for Flash devices just 32KB"). Our tables live in memory, so we
+//! model the disk instead of touching one: scans report the byte spans of
+//! each column they read, and the tracker keeps, per column, the set of
+//! read intervals. Every byte is charged **once per query** (a warm buffer
+//! pool within one cold run) and every discontinuity counts as a seek, so:
+//!
+//! * selection pushdown (skipping blocks/groups) directly reduces bytes,
+//! * scatter-scan reordering costs seeks but never re-reads,
+//! * [`DeviceProfile::estimate_seconds`] converts both into a cold-read
+//!   time estimate.
+//!
+//! Byte granularity rather than page granularity keeps the model faithful
+//! at laptop scale factors, where BDCC groups are far smaller than the
+//! 32 KB pages the paper's SF100 groups were tuned to (at SF100 the two
+//! coincide, since Algorithm 1 sizes groups to at least `AR`).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Logical page size in bytes (the paper's evaluation uses 32 KB pages);
+/// used to derive page counts from byte counts for reporting.
+pub const PAGE_SIZE: usize = 32 * 1024;
+
+/// Whether an access continued the previous run or seeked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Sequential,
+    Random,
+}
+
+/// Device characteristics used to turn byte counts into time estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Sequential throughput in bytes/second.
+    pub seq_bytes_per_sec: f64,
+    /// Cost of one random seek in seconds.
+    pub seek_seconds: f64,
+    /// Efficient random access size `AR` in bytes: a random read of at
+    /// least this size runs at ~sequential efficiency.
+    pub efficient_random_access: usize,
+}
+
+impl DeviceProfile {
+    /// The paper's SSD RAID: 1 GB/s sequential, AR = 32 KB (flash, per
+    /// ref [5]). The seek cost is *defined by AR*: a random read of AR
+    /// bytes achieves ~80% of sequential throughput, i.e.
+    /// `seek = 0.25 · AR / seq_rate` ≈ 8 µs.
+    pub fn ssd_raid() -> DeviceProfile {
+        DeviceProfile::from_ar(1_000_000_000.0, 32 * 1024)
+    }
+
+    /// A magnetic disk: 150 MB/s sequential, AR = 2 MB (seek ≈ 3.3 ms by
+    /// the same 80%-efficiency definition).
+    pub fn magnetic() -> DeviceProfile {
+        DeviceProfile::from_ar(150_000_000.0, 2 * 1024 * 1024)
+    }
+
+    /// Build a profile from sequential rate and efficient random access
+    /// size, deriving the seek cost from the paper's AR definition
+    /// ("random reads approach the efficiency of sequential reads … e.g.
+    /// such that throughput is 80% of sequential throughput").
+    pub fn from_ar(seq_bytes_per_sec: f64, ar: usize) -> DeviceProfile {
+        DeviceProfile {
+            seq_bytes_per_sec,
+            seek_seconds: 0.25 * ar as f64 / seq_bytes_per_sec,
+            efficient_random_access: ar,
+        }
+    }
+
+    /// Estimated seconds to read `stats` cold from this device.
+    pub fn estimate_seconds(&self, stats: &IoStats) -> f64 {
+        stats.bytes_read as f64 / self.seq_bytes_per_sec
+            + stats.random_seeks as f64 * self.seek_seconds
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        DeviceProfile::ssd_raid()
+    }
+}
+
+/// Aggregated access counts for one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Distinct bytes read across all columns.
+    pub bytes_read: u64,
+    /// Accesses that started with a seek (first access of each column
+    /// included).
+    pub random_seeks: u64,
+    /// Accesses that continued the previous run.
+    pub sequential_accesses: u64,
+}
+
+impl IoStats {
+    /// Logical 32 KB pages touched (rounded up).
+    pub fn pages_read(&self) -> u64 {
+        self.bytes_read.div_ceil(PAGE_SIZE as u64)
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.bytes_read += other.bytes_read;
+        self.random_seeks += other.random_seeks;
+        self.sequential_accesses += other.sequential_accesses;
+    }
+}
+
+#[derive(Debug, Default)]
+struct ColumnState {
+    /// Sorted, disjoint byte intervals `[lo, hi]` already read.
+    intervals: Vec<(u64, u64)>,
+    /// Byte position after the most recent access.
+    cursor: u64,
+    touched: bool,
+}
+
+impl ColumnState {
+    /// Insert `[lo, hi]`, returning the number of newly read bytes.
+    fn insert(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        // Find overlap window.
+        let start = self.intervals.partition_point(|&(_, ihi)| ihi + 1 < lo);
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        let mut covered: u64 = 0;
+        let mut end = start;
+        while end < self.intervals.len() && self.intervals[end].0 <= hi.saturating_add(1) {
+            let (ilo, ihi) = self.intervals[end];
+            // Bytes of [lo, hi] already covered by this interval.
+            let olo = ilo.max(lo);
+            let ohi = ihi.min(hi);
+            if olo <= ohi {
+                covered += ohi - olo + 1;
+            }
+            new_lo = new_lo.min(ilo);
+            new_hi = new_hi.max(ihi);
+            end += 1;
+        }
+        let added = (hi - lo + 1) - covered;
+        self.intervals.splice(start..end, [(new_lo, new_hi)]);
+        added
+    }
+}
+
+#[derive(Debug, Default)]
+struct TrackerInner {
+    stats: IoStats,
+    columns: Vec<(u64, ColumnState)>,
+}
+
+/// Shared, thread-safe I/O accounting for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct IoTracker {
+    inner: Arc<Mutex<TrackerInner>>,
+}
+
+impl IoTracker {
+    /// A fresh tracker with zeroed counters.
+    pub fn new() -> IoTracker {
+        IoTracker::default()
+    }
+
+    /// Record a read of bytes `[first_byte, last_byte]` of the column
+    /// identified by `column_key` (any stable hash of table+column).
+    /// Returns the access classification.
+    pub fn record_span(&self, column_key: u64, first_byte: u64, last_byte: u64) -> AccessKind {
+        debug_assert!(first_byte <= last_byte);
+        let mut inner = self.inner.lock();
+        let idx = match inner.columns.iter().position(|(k, _)| *k == column_key) {
+            Some(i) => i,
+            None => {
+                inner.columns.push((column_key, ColumnState::default()));
+                inner.columns.len() - 1
+            }
+        };
+        let state = &mut inner.columns[idx].1;
+        let added = state.insert(first_byte, last_byte);
+        // Sequential = forward continuation from the head (possibly
+        // overlapping the last span), or a read fully served from already-
+        // read bytes (buffer pool, no physical I/O). Everything else —
+        // forward jumps, backward jumps with new bytes, and the first
+        // access of a column — seeks.
+        let forward_continuation =
+            state.touched && first_byte <= state.cursor + 1 && last_byte > state.cursor;
+        let kind = if forward_continuation || (state.touched && added == 0) {
+            AccessKind::Sequential
+        } else {
+            AccessKind::Random
+        };
+        state.cursor = last_byte;
+        state.touched = true;
+        inner.stats.bytes_read += added;
+        match kind {
+            AccessKind::Sequential => inner.stats.sequential_accesses += 1,
+            AccessKind::Random => inner.stats.random_seeks += 1,
+        }
+        kind
+    }
+
+    /// Snapshot of the counters so far.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats
+    }
+
+    /// Reset all counters and interval sets (between queries).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats = IoStats::default();
+        inner.columns.clear();
+    }
+}
+
+/// Number of pages needed for `rows` values of `avg_width` bytes each.
+pub fn pages_for(rows: usize, avg_width: f64) -> u64 {
+    let bytes = rows as f64 * avg_width;
+    (bytes / PAGE_SIZE as f64).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_bytes_charged_once() {
+        let t = IoTracker::new();
+        assert_eq!(t.record_span(1, 0, 99), AccessKind::Random);
+        assert_eq!(t.record_span(1, 100, 199), AccessKind::Sequential);
+        assert_eq!(t.stats().bytes_read, 200);
+        // Overlapping forward re-read adds only the new tail.
+        assert_eq!(t.record_span(1, 150, 249), AccessKind::Sequential);
+        assert_eq!(t.stats().bytes_read, 250);
+        // Fully covered re-read is free.
+        t.record_span(1, 0, 249);
+        assert_eq!(t.stats().bytes_read, 250);
+    }
+
+    #[test]
+    fn scatter_order_reads_each_byte_once() {
+        let t = IoTracker::new();
+        // Groups read out of order: every byte still counted once, but the
+        // backward jump costs a seek.
+        assert_eq!(t.record_span(1, 200, 299), AccessKind::Random);
+        assert_eq!(t.record_span(1, 0, 99), AccessKind::Random);
+        assert_eq!(t.record_span(1, 100, 199), AccessKind::Sequential);
+        let s = t.stats();
+        assert_eq!(s.bytes_read, 300);
+        assert_eq!(s.random_seeks, 2);
+        assert_eq!(s.sequential_accesses, 1);
+    }
+
+    #[test]
+    fn columns_are_tracked_independently() {
+        let t = IoTracker::new();
+        t.record_span(1, 0, 9);
+        assert_eq!(t.record_span(2, 0, 9), AccessKind::Random);
+        assert_eq!(t.record_span(1, 10, 19), AccessKind::Sequential);
+        assert_eq!(t.stats().bytes_read, 30);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = IoTracker::new();
+        t.record_span(1, 0, 9);
+        t.reset();
+        assert_eq!(t.stats(), IoStats::default());
+        assert_eq!(t.record_span(1, 10, 10), AccessKind::Random);
+    }
+
+    #[test]
+    fn interval_merging() {
+        let mut c = ColumnState::default();
+        assert_eq!(c.insert(10, 19), 10);
+        assert_eq!(c.insert(30, 39), 10);
+        assert_eq!(c.insert(15, 34), 10); // bridges the two
+        assert_eq!(c.intervals, vec![(10, 39)]);
+        assert_eq!(c.insert(0, 50), 21);
+        assert_eq!(c.intervals, vec![(0, 50)]);
+        assert_eq!(c.insert(20, 30), 0);
+    }
+
+    #[test]
+    fn pages_and_estimates() {
+        let mut stats =
+            IoStats { bytes_read: PAGE_SIZE as u64 + 1, ..IoStats::default() };
+        assert_eq!(stats.pages_read(), 2);
+        stats.random_seeks = 10;
+        let d = DeviceProfile::ssd_raid();
+        let secs = d.estimate_seconds(&stats);
+        let expected = (PAGE_SIZE as f64 + 1.0) / 1e9 + 10.0 * d.seek_seconds;
+        assert!((secs - expected).abs() < 1e-12);
+        // AR-consistency: an AR-sized random read runs at 80% efficiency.
+        let ar_read = IoStats {
+            bytes_read: d.efficient_random_access as u64,
+            random_seeks: 1,
+            sequential_accesses: 0,
+        };
+        let seq_time = d.efficient_random_access as f64 / d.seq_bytes_per_sec;
+        assert!((d.estimate_seconds(&ar_read) / seq_time - 1.25).abs() < 1e-9);
+        assert!(DeviceProfile::magnetic().estimate_seconds(&stats) > secs);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(0, 8.0), 0);
+        assert_eq!(pages_for(1, 8.0), 1);
+        assert_eq!(pages_for(PAGE_SIZE / 8, 8.0), 1);
+        assert_eq!(pages_for(PAGE_SIZE / 8 + 1, 8.0), 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = IoStats { bytes_read: 1, random_seeks: 0, sequential_accesses: 1 };
+        a.merge(&IoStats { bytes_read: 2, random_seeks: 2, sequential_accesses: 0 });
+        assert_eq!(a, IoStats { bytes_read: 3, random_seeks: 2, sequential_accesses: 1 });
+    }
+}

@@ -1,0 +1,36 @@
+//! # bdcc-storage — columnar storage substrate
+//!
+//! The BDCC paper (Baumann, Boncz, Sattler: *Automatic Schema Design for
+//! Co-Clustered Tables*, ICDE 2013) evaluates inside Vectorwise, a columnar
+//! analytical engine. This crate is the from-scratch substitute: an
+//! in-memory, strongly typed column store with the three facilities the
+//! paper's machinery consumes:
+//!
+//! * **Typed columns** ([`Column`], [`Datum`], [`DataType`]) holding `i64`,
+//!   `f64`, date (days since the Unix epoch) and UTF-8 string values.
+//! * **Block statistics** ([`block::BlockStats`]) — per-block min/max values
+//!   for every column, the equivalent of Vectorwise MinMax indices, used for
+//!   block skipping and correlated selection pushdown.
+//! * **An I/O cost model** ([`io::IoTracker`], [`io::DeviceProfile`]) —
+//!   logical 32 KB pages per column, sequential vs. random accounting, and
+//!   the *efficient random access size* `AR` that drives the self-tuning of
+//!   count-table granularity (Algorithm 1 of the paper).
+//!
+//! Tables are immutable once built (BDCC re-organizes on bulk-load), which
+//! keeps the storage layer simple and lock-free on the read path.
+
+pub mod block;
+pub mod column;
+pub mod error;
+pub mod io;
+pub mod sort;
+pub mod table;
+pub mod value;
+
+pub use block::{BlockStats, ColumnBlockStats, DEFAULT_BLOCK_ROWS};
+pub use column::{Column, ColumnBuilder};
+pub use error::{Result, StorageError};
+pub use io::{AccessKind, DeviceProfile, IoStats, IoTracker, PAGE_SIZE};
+pub use sort::{apply_permutation, sort_permutation, sort_permutation_multi};
+pub use table::{ColumnMeta, StoredTable, TableBuilder, TableSchema};
+pub use value::{date_to_days, days_to_date, format_date, parse_date, year_of, DataType, Datum};

@@ -1,0 +1,280 @@
+//! The TPC-H schema as classic DDL, plus the paper's BDCC hints.
+//!
+//! Section IV: "We used Algorithm 2 to semi-automatically design the
+//! physical BDCC schema given as input DDL statements consisting of the
+//! usual foreign keys for TPC-H, plus
+//! `CREATE INDEX date_idx ON ORDERS(o_orderdate)`,
+//! `CREATE INDEX part_idx ON PART(p_partkey)`,
+//! `CREATE INDEX nation_idx ON NATION(n_regionkey, n_nationkey)`.
+//! In addition we declared indices on the foreign key references
+//! o_custkey, s_nationkey, c_nationkey, l_orderkey, l_partkey, l_suppkey,
+//! ps_partkey and ps_suppkey."
+//!
+//! The order of the LINEITEM foreign-key hints below (`l_orderkey`,
+//! `l_suppkey`, `l_partkey`) fixes the round-robin priority so that the
+//! derived masks match the dimension-use table printed in the paper
+//! (D_DATE, customer D_NATION, supplier D_NATION, D_PART).
+
+use bdcc_catalog::{Catalog, ColumnDef, TableDef};
+use bdcc_storage::DataType;
+
+fn col(name: &str, dt: DataType) -> ColumnDef {
+    ColumnDef { name: name.to_string(), data_type: dt }
+}
+
+/// Build the full TPC-H catalog: 8 tables, primary keys, the usual foreign
+/// keys, and the paper's index hints.
+pub fn tpch_catalog() -> Catalog {
+    use DataType::{Date, Float, Int, Str};
+    let mut c = Catalog::new();
+
+    c.create_table(TableDef {
+        name: "region".into(),
+        columns: vec![col("r_regionkey", Int), col("r_name", Str), col("r_comment", Str)],
+        primary_key: vec!["r_regionkey".into()],
+    })
+    .expect("region");
+
+    c.create_table(TableDef {
+        name: "nation".into(),
+        columns: vec![
+            col("n_nationkey", Int),
+            col("n_name", Str),
+            col("n_regionkey", Int),
+            col("n_comment", Str),
+        ],
+        primary_key: vec!["n_nationkey".into()],
+    })
+    .expect("nation");
+
+    c.create_table(TableDef {
+        name: "supplier".into(),
+        columns: vec![
+            col("s_suppkey", Int),
+            col("s_name", Str),
+            col("s_address", Str),
+            col("s_nationkey", Int),
+            col("s_phone", Str),
+            col("s_acctbal", Float),
+            col("s_comment", Str),
+        ],
+        primary_key: vec!["s_suppkey".into()],
+    })
+    .expect("supplier");
+
+    c.create_table(TableDef {
+        name: "customer".into(),
+        columns: vec![
+            col("c_custkey", Int),
+            col("c_name", Str),
+            col("c_address", Str),
+            col("c_nationkey", Int),
+            col("c_phone", Str),
+            col("c_acctbal", Float),
+            col("c_mktsegment", Str),
+            col("c_comment", Str),
+        ],
+        primary_key: vec!["c_custkey".into()],
+    })
+    .expect("customer");
+
+    c.create_table(TableDef {
+        name: "part".into(),
+        columns: vec![
+            col("p_partkey", Int),
+            col("p_name", Str),
+            col("p_mfgr", Str),
+            col("p_brand", Str),
+            col("p_type", Str),
+            col("p_size", Int),
+            col("p_container", Str),
+            col("p_retailprice", Float),
+            col("p_comment", Str),
+        ],
+        primary_key: vec!["p_partkey".into()],
+    })
+    .expect("part");
+
+    c.create_table(TableDef {
+        name: "partsupp".into(),
+        columns: vec![
+            col("ps_partkey", Int),
+            col("ps_suppkey", Int),
+            col("ps_availqty", Int),
+            col("ps_supplycost", Float),
+            col("ps_comment", Str),
+        ],
+        primary_key: vec!["ps_partkey".into(), "ps_suppkey".into()],
+    })
+    .expect("partsupp");
+
+    c.create_table(TableDef {
+        name: "orders".into(),
+        columns: vec![
+            col("o_orderkey", Int),
+            col("o_custkey", Int),
+            col("o_orderstatus", Str),
+            col("o_totalprice", Float),
+            col("o_orderdate", Date),
+            col("o_orderpriority", Str),
+            col("o_clerk", Str),
+            col("o_shippriority", Int),
+            col("o_comment", Str),
+        ],
+        primary_key: vec!["o_orderkey".into()],
+    })
+    .expect("orders");
+
+    c.create_table(TableDef {
+        name: "lineitem".into(),
+        columns: vec![
+            col("l_orderkey", Int),
+            col("l_partkey", Int),
+            col("l_suppkey", Int),
+            col("l_linenumber", Int),
+            col("l_quantity", Float),
+            col("l_extendedprice", Float),
+            col("l_discount", Float),
+            col("l_tax", Float),
+            col("l_returnflag", Str),
+            col("l_linestatus", Str),
+            col("l_shipdate", Date),
+            col("l_commitdate", Date),
+            col("l_receiptdate", Date),
+            col("l_shipinstruct", Str),
+            col("l_shipmode", Str),
+            col("l_comment", Str),
+        ],
+        primary_key: vec!["l_orderkey".into(), "l_linenumber".into()],
+    })
+    .expect("lineitem");
+
+    // The usual TPC-H foreign keys, named in the paper's FK_X_Y style.
+    type FkDecl = (&'static str, &'static str, &'static [&'static str], &'static str, &'static [&'static str]);
+    let fks: [FkDecl; 9] = [
+        ("FK_N_R", "nation", &["n_regionkey"], "region", &["r_regionkey"]),
+        ("FK_S_N", "supplier", &["s_nationkey"], "nation", &["n_nationkey"]),
+        ("FK_C_N", "customer", &["c_nationkey"], "nation", &["n_nationkey"]),
+        ("FK_PS_P", "partsupp", &["ps_partkey"], "part", &["p_partkey"]),
+        ("FK_PS_S", "partsupp", &["ps_suppkey"], "supplier", &["s_suppkey"]),
+        ("FK_O_C", "orders", &["o_custkey"], "customer", &["c_custkey"]),
+        ("FK_L_O", "lineitem", &["l_orderkey"], "orders", &["o_orderkey"]),
+        ("FK_L_S", "lineitem", &["l_suppkey"], "supplier", &["s_suppkey"]),
+        ("FK_L_P", "lineitem", &["l_partkey"], "part", &["p_partkey"]),
+    ];
+    for (name, from, from_cols, to, to_cols) in fks {
+        c.create_foreign_key(name, from, from_cols, to, to_cols).expect(name);
+    }
+
+    // The paper's three dimension hints...
+    c.create_index("nation_idx", "nation", &["n_regionkey", "n_nationkey"]).expect("nation_idx");
+    c.create_index("part_idx", "part", &["p_partkey"]).expect("part_idx");
+    c.create_index("date_idx", "orders", &["o_orderdate"]).expect("date_idx");
+    // ...and the foreign-key indices used to derive co-clustering. Order
+    // fixes round-robin priority (see module docs).
+    c.create_index("s_nk_idx", "supplier", &["s_nationkey"]).expect("s_nk");
+    c.create_index("c_nk_idx", "customer", &["c_nationkey"]).expect("c_nk");
+    c.create_index("o_ck_idx", "orders", &["o_custkey"]).expect("o_ck");
+    c.create_index("ps_pk_idx", "partsupp", &["ps_partkey"]).expect("ps_pk");
+    c.create_index("ps_sk_idx", "partsupp", &["ps_suppkey"]).expect("ps_sk");
+    c.create_index("l_ok_idx", "lineitem", &["l_orderkey"]).expect("l_ok");
+    c.create_index("l_sk_idx", "lineitem", &["l_suppkey"]).expect("l_sk");
+    c.create_index("l_pk_idx", "lineitem", &["l_partkey"]).expect("l_pk");
+    c
+}
+
+/// Paper-scale (SF100) distinct-value statistics for the design preview:
+/// 25 nations, 20M parts (capped at 13 bits), 2406 order dates.
+pub fn sf100_ndv() -> std::collections::BTreeMap<String, usize> {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert("D_NATION".to_string(), 25);
+    m.insert("D_PART".to_string(), 20_000_000);
+    m.insert("D_DATE".to_string(), 2406);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdcc_catalog::SchemaGraph;
+
+    #[test]
+    fn catalog_has_eight_tables_nine_fks_eleven_hints() {
+        let c = tpch_catalog();
+        assert_eq!(c.table_count(), 8);
+        assert_eq!(c.fks().len(), 9);
+        assert_eq!(c.hints().len(), 11);
+    }
+
+    #[test]
+    fn schema_dag_is_acyclic_with_expected_leaves() {
+        let c = tpch_catalog();
+        let g = SchemaGraph::build(&c);
+        let order = g.leaf_first_order().unwrap();
+        assert_eq!(order.len(), 8);
+        let mut leaves: Vec<&str> = g.leaves().into_iter().map(|t| c.table_name(t)).collect();
+        leaves.sort();
+        assert_eq!(leaves, vec!["part", "region"]);
+    }
+
+    #[test]
+    fn derived_design_matches_paper() {
+        use bdcc_core::{derive_design, DesignConfig};
+        let c = tpch_catalog();
+        let d = derive_design(&c, &DesignConfig::default()).unwrap();
+        // Three dimensions with the paper's names.
+        let mut names: Vec<&str> = d.dim_specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort();
+        assert_eq!(names, vec!["D_DATE", "D_NATION", "D_PART"]);
+        // Use counts per table (paper's dimension-use table).
+        let uses = |t: &str| d.uses.get(&c.table_id(t).unwrap()).map(|u| u.len()).unwrap_or(0);
+        assert_eq!(uses("nation"), 1);
+        assert_eq!(uses("supplier"), 1);
+        assert_eq!(uses("customer"), 1);
+        assert_eq!(uses("part"), 1);
+        assert_eq!(uses("partsupp"), 2);
+        assert_eq!(uses("orders"), 2);
+        assert_eq!(uses("lineitem"), 4);
+        assert_eq!(uses("region"), 0);
+        // LINEITEM clustered twice on D_NATION over distinct paths.
+        let li = &d.uses[&c.table_id("lineitem").unwrap()];
+        let nation_id = d.dim_specs.iter().find(|s| s.name == "D_NATION").unwrap().id;
+        let nation_uses: Vec<_> = li.iter().filter(|u| u.dim == nation_id).collect();
+        assert_eq!(nation_uses.len(), 2);
+        assert_ne!(nation_uses[0].path, nation_uses[1].path);
+    }
+
+    #[test]
+    fn sf100_preview_reproduces_paper_masks() {
+        use bdcc_core::{preview_design, DesignConfig};
+        let c = tpch_catalog();
+        let (dims, tables) = preview_design(&c, &sf100_ndv(), &DesignConfig::default()).unwrap();
+        let bits = |n: &str| dims.iter().find(|d| d.name == n).unwrap().bits;
+        assert_eq!(bits("D_NATION"), 5);
+        assert_eq!(bits("D_PART"), 13);
+        assert_eq!(bits("D_DATE"), 12); // the paper rounds this to 13
+        let t = |n: &str| tables.iter().find(|t| t.table == n).unwrap();
+        // NATION / SUPPLIER / CUSTOMER: all five bits.
+        assert_eq!(t("nation").uses[0].mask, "11111");
+        assert_eq!(t("supplier").uses[0].mask, "11111");
+        assert_eq!(t("customer").uses[0].mask, "11111");
+        assert_eq!(t("part").uses[0].mask, "1111111111111");
+        // PARTSUPP: D_PART and supplier D_NATION round-robin, part fills.
+        assert_eq!(t("partsupp").uses[0].dim_name, "D_PART");
+        assert_eq!(t("partsupp").uses[0].mask, "101010101011111111");
+        assert_eq!(t("partsupp").uses[1].path, "FK_PS_S.FK_S_N");
+        // ORDERS: local D_DATE + customer D_NATION (12-bit date here).
+        assert_eq!(t("orders").uses[0].dim_name, "D_DATE");
+        assert_eq!(t("orders").uses[1].path, "FK_O_C.FK_C_N");
+        // LINEITEM: 4 uses in the paper's order.
+        let li = t("lineitem");
+        assert_eq!(li.uses.len(), 4);
+        assert_eq!(li.uses[0].dim_name, "D_DATE");
+        assert_eq!(li.uses[1].path, "FK_L_O.FK_O_C.FK_C_N");
+        assert_eq!(li.uses[2].path, "FK_L_S.FK_S_N");
+        assert_eq!(li.uses[3].dim_name, "D_PART");
+        // With a 12-bit date the total is 35 bits; the top of the D_DATE
+        // mask shows the same 4-way round-robin pattern as the paper.
+        assert!(li.uses[0].mask.starts_with("10001000100010001000"));
+    }
+}

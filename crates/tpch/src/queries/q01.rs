@@ -1,0 +1,45 @@
+//! Q1 — pricing summary report: a 95–97% scan of LINEITEM with a wide
+//! aggregation. The paper notes no indexing method accelerates it.
+
+use bdcc_exec::{aggregate, sort, AggFunc, AggSpec, Batch, ColPredicate, Expr, PlanBuilder,
+    Result, SortKey};
+
+use super::{date, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let scan = b.scan(
+        "lineitem",
+        &[
+            "l_returnflag",
+            "l_linestatus",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+        ],
+        vec![ColPredicate::le("l_shipdate", date("1998-09-02"))],
+    );
+    let disc_price = Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
+    let charge = disc_price.clone().mul(Expr::lit(1.0).add(Expr::col("l_tax")));
+    let agg = aggregate(
+        scan,
+        &["l_returnflag", "l_linestatus"],
+        vec![
+            AggSpec::new(AggFunc::Sum, Expr::col("l_quantity"), "sum_qty"),
+            AggSpec::new(AggFunc::Sum, Expr::col("l_extendedprice"), "sum_base_price"),
+            AggSpec::new(AggFunc::Sum, disc_price, "sum_disc_price"),
+            AggSpec::new(AggFunc::Sum, charge, "sum_charge"),
+            AggSpec::new(AggFunc::Avg, Expr::col("l_quantity"), "avg_qty"),
+            AggSpec::new(AggFunc::Avg, Expr::col("l_extendedprice"), "avg_price"),
+            AggSpec::new(AggFunc::Avg, Expr::col("l_discount"), "avg_disc"),
+            AggSpec::new(AggFunc::Count, Expr::lit(1), "count_order"),
+        ],
+    );
+    let plan = sort(
+        agg,
+        vec![SortKey::asc("l_returnflag"), SortKey::asc("l_linestatus")],
+        None,
+    );
+    ctx.run(&plan)
+}

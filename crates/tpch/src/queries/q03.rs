@@ -1,0 +1,37 @@
+//! Q3 — shipping priority: BUILDING customers, orders before 1995-03-15,
+//! lineitems shipped after. Selection pushdown propagates the date
+//! restriction from ORDERS to LINEITEM; the joins sandwich on the shared
+//! D_DATE / customer-D_NATION instances.
+
+use bdcc_exec::{aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, FkSide,
+    PlanBuilder, Result, SortKey};
+
+use super::{date, revenue_expr, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let customer = b.scan(
+        "customer",
+        &["c_custkey"],
+        vec![ColPredicate::eq("c_mktsegment", Datum::Str("BUILDING".into()))],
+    );
+    let orders = b.scan(
+        "orders",
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+        vec![ColPredicate::lt("o_orderdate", date("1995-03-15"))],
+    );
+    let lineitem = b.scan(
+        "lineitem",
+        &["l_orderkey", "l_extendedprice", "l_discount"],
+        vec![ColPredicate::gt("l_shipdate", date("1995-03-15"))],
+    );
+    let oc = join(orders, customer, &[("o_custkey", "c_custkey")], Some(("FK_O_C", FkSide::Left)));
+    let lo = join(lineitem, oc, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    let agg = aggregate(
+        lo,
+        &["l_orderkey", "o_orderdate", "o_shippriority"],
+        vec![AggSpec::new(AggFunc::Sum, revenue_expr(), "revenue")],
+    );
+    let plan = sort(agg, vec![SortKey::desc("revenue"), SortKey::asc("o_orderdate")], Some(10));
+    ctx.run(&plan)
+}

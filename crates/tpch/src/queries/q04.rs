@@ -1,0 +1,35 @@
+//! Q4 — order priority checking: EXISTS lowered to a semi join from ORDERS
+//! to late LINEITEMs.
+
+use bdcc_exec::{aggregate, filter, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate,
+    Expr, FkSide, JoinType, PlanBuilder, Result, SortKey};
+
+use super::{date, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let orders = b.scan(
+        "orders",
+        &["o_orderkey", "o_orderpriority"],
+        vec![ColPredicate::range("o_orderdate", date("1993-07-01"), date("1993-10-01"))],
+    );
+    let late = filter(
+        b.scan("lineitem", &["l_orderkey", "l_commitdate", "l_receiptdate"], vec![]),
+        Expr::col("l_commitdate").lt(Expr::col("l_receiptdate")),
+    );
+    let semi = join_full(
+        orders,
+        late,
+        &[("o_orderkey", "l_orderkey")],
+        JoinType::Semi,
+        Some(("FK_L_O", FkSide::Right)),
+        None,
+    );
+    let agg = aggregate(
+        semi,
+        &["o_orderpriority"],
+        vec![AggSpec::new(AggFunc::Count, Expr::lit(1), "order_count")],
+    );
+    let plan = sort(agg, vec![SortKey::asc("o_orderpriority")], None);
+    ctx.run(&plan)
+}

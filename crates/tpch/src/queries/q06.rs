@@ -1,0 +1,30 @@
+//! Q6 — forecasting revenue change: a pure LINEITEM selection that BDCC
+//! accelerates through the o_orderdate ↔ l_shipdate correlation (MinMax
+//! pushdown on the clustered layout).
+
+use bdcc_exec::{aggregate, AggFunc, AggSpec, Batch, ColPredicate, Expr, PlanBuilder, Result};
+
+use super::{date, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let scan = b.scan(
+        "lineitem",
+        &["l_extendedprice", "l_discount"],
+        vec![
+            ColPredicate::range("l_shipdate", date("1994-01-01"), date("1995-01-01")),
+            ColPredicate::between("l_discount", 0.05f64, 0.07f64),
+            ColPredicate::lt("l_quantity", 24.0f64),
+        ],
+    );
+    let plan = aggregate(
+        scan,
+        &[],
+        vec![AggSpec::new(
+            AggFunc::Sum,
+            Expr::col("l_extendedprice").mul(Expr::col("l_discount")),
+            "revenue",
+        )],
+    );
+    ctx.run(&plan)
+}

@@ -1,0 +1,73 @@
+//! Q7 — volume shipping between FRANCE and GERMANY: a self-referencing
+//! nation pair resolved via aliased NATION scans and a residual pair
+//! condition.
+
+use bdcc_exec::{aggregate, join, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum,
+    Expr, FkSide, JoinType, PlanBuilder, Result, SortKey};
+
+use super::{date, revenue_expr, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let in_pair = vec![Datum::Str("FRANCE".into()), Datum::Str("GERMANY".into())];
+    let n1 = b.scan_as(
+        "nation",
+        "n1",
+        &["n_nationkey", "n_name"],
+        vec![ColPredicate::in_list("n_name", in_pair.clone())],
+    );
+    let n2 = b.scan_as(
+        "nation",
+        "n2",
+        &["n_nationkey", "n_name"],
+        vec![ColPredicate::in_list("n_name", in_pair)],
+    );
+    let supplier = b.scan("supplier", &["s_suppkey", "s_nationkey"], vec![]);
+    let customer = b.scan("customer", &["c_custkey", "c_nationkey"], vec![]);
+    let orders = b.scan("orders", &["o_orderkey", "o_custkey"], vec![]);
+    let lineitem = b.scan(
+        "lineitem",
+        &["l_orderkey", "l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"],
+        vec![ColPredicate::between("l_shipdate", date("1995-01-01"), date("1996-12-31"))],
+    );
+
+    let sn = join(supplier, n1, &[("s_nationkey", "n1_nationkey")], Some(("FK_S_N", FkSide::Left)));
+    let cn = join(customer, n2, &[("c_nationkey", "n2_nationkey")], Some(("FK_C_N", FkSide::Left)));
+    let oc = join(orders, cn, &[("o_custkey", "c_custkey")], Some(("FK_O_C", FkSide::Left)));
+    let lo = join(lineitem, oc, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    // (supp FRANCE, cust GERMANY) or (supp GERMANY, cust FRANCE).
+    let pair_cond = Expr::col("n1_name")
+        .eq(Expr::lit("FRANCE"))
+        .and(Expr::col("n2_name").eq(Expr::lit("GERMANY")))
+        .or(Expr::col("n1_name")
+            .eq(Expr::lit("GERMANY"))
+            .and(Expr::col("n2_name").eq(Expr::lit("FRANCE"))));
+    let ls = join_full(
+        lo,
+        sn,
+        &[("l_suppkey", "s_suppkey")],
+        JoinType::Inner,
+        Some(("FK_L_S", FkSide::Left)),
+        Some(pair_cond),
+    );
+    let vol = bdcc_exec::project(
+        ls,
+        vec![
+            (Expr::col("n1_name"), "supp_nation"),
+            (Expr::col("n2_name"), "cust_nation"),
+            (Expr::col("l_shipdate").year(), "l_year"),
+            (revenue_expr(), "volume"),
+        ],
+    );
+    let agg = aggregate(
+        vol,
+        &["supp_nation", "cust_nation", "l_year"],
+        vec![AggSpec::new(AggFunc::Sum, Expr::col("volume"), "revenue")],
+    );
+    let plan = sort(
+        agg,
+        vec![SortKey::asc("supp_nation"), SortKey::asc("cust_nation"), SortKey::asc("l_year")],
+        None,
+    );
+    ctx.run(&plan)
+}

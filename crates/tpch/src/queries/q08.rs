@@ -1,0 +1,77 @@
+//! Q8 — national market share of BRAZIL within AMERICA for ECONOMY
+//! ANODIZED STEEL: the case-sum / sum ratio is computed by projecting the
+//! two aggregates.
+
+use bdcc_exec::{aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr,
+    FkSide, PlanBuilder, Result, SortKey};
+
+use super::{date, revenue_expr, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let part = b.scan(
+        "part",
+        &["p_partkey"],
+        vec![ColPredicate::eq("p_type", Datum::Str("ECONOMY ANODIZED STEEL".into()))],
+    );
+    let region = b.scan(
+        "region",
+        &["r_regionkey"],
+        vec![ColPredicate::eq("r_name", Datum::Str("AMERICA".into()))],
+    );
+    let n1 = b.scan_as("nation", "n1", &["n_nationkey", "n_regionkey"], vec![]);
+    let n2 = b.scan_as("nation", "n2", &["n_nationkey", "n_name"], vec![]);
+    let customer = b.scan("customer", &["c_custkey", "c_nationkey"], vec![]);
+    let orders = b.scan(
+        "orders",
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+        vec![ColPredicate::between("o_orderdate", date("1995-01-01"), date("1996-12-31"))],
+    );
+    let lineitem = b.scan(
+        "lineitem",
+        &["l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"],
+        vec![],
+    );
+    let supplier = b.scan("supplier", &["s_suppkey", "s_nationkey"], vec![]);
+
+    let nr = join(n1, region, &[("n1_regionkey", "r_regionkey")], Some(("FK_N_R", FkSide::Left)));
+    let cn = join(customer, nr, &[("c_nationkey", "n1_nationkey")], Some(("FK_C_N", FkSide::Left)));
+    let oc = join(orders, cn, &[("o_custkey", "c_custkey")], Some(("FK_O_C", FkSide::Left)));
+    let lo = join(lineitem, oc, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    let lp = join(lo, part, &[("l_partkey", "p_partkey")], Some(("FK_L_P", FkSide::Left)));
+    let ls = join(lp, supplier, &[("l_suppkey", "s_suppkey")], Some(("FK_L_S", FkSide::Left)));
+    let full = join(ls, n2, &[("s_nationkey", "n2_nationkey")], None);
+
+    let vol = bdcc_exec::project(
+        full,
+        vec![
+            (Expr::col("o_orderdate").year(), "o_year"),
+            (revenue_expr(), "volume"),
+            (
+                Expr::if_else(
+                    Expr::col("n2_name").eq(Expr::lit("BRAZIL")),
+                    revenue_expr(),
+                    Expr::lit(0.0),
+                ),
+                "brazil_volume",
+            ),
+        ],
+    );
+    let agg = aggregate(
+        vol,
+        &["o_year"],
+        vec![
+            AggSpec::new(AggFunc::Sum, Expr::col("brazil_volume"), "brazil"),
+            AggSpec::new(AggFunc::Sum, Expr::col("volume"), "total"),
+        ],
+    );
+    let share = bdcc_exec::project(
+        agg,
+        vec![
+            (Expr::col("o_year"), "o_year"),
+            (Expr::col("brazil").div(Expr::col("total")), "mkt_share"),
+        ],
+    );
+    let plan = sort(share, vec![SortKey::asc("o_year")], None);
+    ctx.run(&plan)
+}

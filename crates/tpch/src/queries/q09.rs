@@ -1,0 +1,63 @@
+//! Q9 — product type profit for parts named like '%green%', grouped by
+//! nation and year. Exercises the composite PARTSUPP join
+//! (partkey, suppkey).
+
+use bdcc_exec::{aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Expr, FkSide,
+    LikePattern, PlanBuilder, Result, SortKey};
+
+use super::QueryCtx;
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let part = b.scan(
+        "part",
+        &["p_partkey"],
+        vec![ColPredicate::like("p_name", LikePattern::Contains("green".into()))],
+    );
+    let lineitem = b.scan(
+        "lineitem",
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+        ],
+        vec![],
+    );
+    let supplier = b.scan("supplier", &["s_suppkey", "s_nationkey"], vec![]);
+    let partsupp = b.scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"], vec![]);
+    let orders = b.scan("orders", &["o_orderkey", "o_orderdate"], vec![]);
+    let nation = b.scan("nation", &["n_nationkey", "n_name"], vec![]);
+
+    let lp = join(lineitem, part, &[("l_partkey", "p_partkey")], Some(("FK_L_P", FkSide::Left)));
+    let lps = join(
+        lp,
+        partsupp,
+        &[("l_partkey", "ps_partkey"), ("l_suppkey", "ps_suppkey")],
+        None,
+    );
+    let lo = join(lps, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    let lsup = join(lo, supplier, &[("l_suppkey", "s_suppkey")], Some(("FK_L_S", FkSide::Left)));
+    let full = join(lsup, nation, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)));
+
+    let amount = Expr::col("l_extendedprice")
+        .mul(Expr::lit(1.0).sub(Expr::col("l_discount")))
+        .sub(Expr::col("ps_supplycost").mul(Expr::col("l_quantity")));
+    let profit = bdcc_exec::project(
+        full,
+        vec![
+            (Expr::col("n_name"), "nation"),
+            (Expr::col("o_orderdate").year(), "o_year"),
+            (amount, "amount"),
+        ],
+    );
+    let agg = aggregate(
+        profit,
+        &["nation", "o_year"],
+        vec![AggSpec::new(AggFunc::Sum, Expr::col("amount"), "sum_profit")],
+    );
+    let plan = sort(agg, vec![SortKey::asc("nation"), SortKey::desc("o_year")], None);
+    ctx.run(&plan)
+}

@@ -1,0 +1,39 @@
+//! Q10 — returned item reporting: 1993 Q4 orders with returned lineitems,
+//! top 20 customers by lost revenue. The paper highlights its sandwiched
+//! join and reduced materialization.
+
+use bdcc_exec::{aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, FkSide,
+    PlanBuilder, Result, SortKey};
+
+use super::{date, revenue_expr, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let customer = b.scan(
+        "customer",
+        &["c_custkey", "c_name", "c_acctbal", "c_phone", "c_nationkey", "c_address", "c_comment"],
+        vec![],
+    );
+    let orders = b.scan(
+        "orders",
+        &["o_orderkey", "o_custkey"],
+        vec![ColPredicate::range("o_orderdate", date("1993-10-01"), date("1994-01-01"))],
+    );
+    let lineitem = b.scan(
+        "lineitem",
+        &["l_orderkey", "l_extendedprice", "l_discount"],
+        vec![ColPredicate::eq("l_returnflag", Datum::Str("R".into()))],
+    );
+    let nation = b.scan("nation", &["n_nationkey", "n_name"], vec![]);
+
+    let lo = join(lineitem, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    let loc = join(lo, customer, &[("o_custkey", "c_custkey")], Some(("FK_O_C", FkSide::Left)));
+    let full = join(loc, nation, &[("c_nationkey", "n_nationkey")], Some(("FK_C_N", FkSide::Left)));
+    let agg = aggregate(
+        full,
+        &["c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address", "c_comment"],
+        vec![AggSpec::new(AggFunc::Sum, revenue_expr(), "revenue")],
+    );
+    let plan = sort(agg, vec![SortKey::desc("revenue"), SortKey::asc("c_custkey")], Some(20));
+    ctx.run(&plan)
+}

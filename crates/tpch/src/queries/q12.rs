@@ -1,0 +1,55 @@
+//! Q12 — shipping modes and order priority: MAIL/SHIP lineitems received
+//! in 1994 that were committed before receipt and shipped before commit.
+//! The BDCC setup benefits from the o_orderdate / l_receiptdate
+//! correlation via MinMax pruning.
+
+use bdcc_exec::{aggregate, filter, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum,
+    Expr, FkSide, PlanBuilder, Result, SortKey};
+
+use super::{date, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let lineitem = filter(
+        b.scan(
+            "lineitem",
+            &["l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate"],
+            vec![
+                ColPredicate::in_list(
+                    "l_shipmode",
+                    vec![Datum::Str("MAIL".into()), Datum::Str("SHIP".into())],
+                ),
+                ColPredicate::range("l_receiptdate", date("1994-01-01"), date("1995-01-01")),
+            ],
+        ),
+        Expr::col("l_commitdate")
+            .lt(Expr::col("l_receiptdate"))
+            .and(Expr::col("l_shipdate").lt(Expr::col("l_commitdate"))),
+    );
+    let orders = b.scan("orders", &["o_orderkey", "o_orderpriority"], vec![]);
+    let lo = join(lineitem, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    let high = Expr::if_else(
+        Expr::col("o_orderpriority")
+            .eq(Expr::lit("1-URGENT"))
+            .or(Expr::col("o_orderpriority").eq(Expr::lit("2-HIGH"))),
+        Expr::lit(1),
+        Expr::lit(0),
+    );
+    let low = Expr::if_else(
+        Expr::col("o_orderpriority")
+            .ne(Expr::lit("1-URGENT"))
+            .and(Expr::col("o_orderpriority").ne(Expr::lit("2-HIGH"))),
+        Expr::lit(1),
+        Expr::lit(0),
+    );
+    let agg = aggregate(
+        lo,
+        &["l_shipmode"],
+        vec![
+            AggSpec::new(AggFunc::Sum, high, "high_line_count"),
+            AggSpec::new(AggFunc::Sum, low, "low_line_count"),
+        ],
+    );
+    let plan = sort(agg, vec![SortKey::asc("l_shipmode")], None);
+    ctx.run(&plan)
+}

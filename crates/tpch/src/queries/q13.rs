@@ -1,0 +1,55 @@
+//! Q13 — customer distribution: orders-per-customer histogram, excluding
+//! special-request orders. The ORDERS aggregation by o_custkey sandwiches
+//! on the customer D_NATION dimension even though NATION is not in the
+//! query — the paper's flagship example of implied co-clustering.
+
+use bdcc_exec::{aggregate, join_full, project, sort, AggFunc, AggSpec, Batch, ColPredicate,
+    Expr, FkSide, JoinType, LikePattern, PlanBuilder, Result, SortKey, MATCHED_COLUMN};
+
+use super::QueryCtx;
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    // Orders per customer (the aggregation the sandwich accelerates).
+    let orders = b.scan(
+        "orders",
+        &["o_custkey"],
+        vec![ColPredicate::not_like(
+            "o_comment",
+            LikePattern::ContainsSeq("special".into(), "requests".into()),
+        )],
+    );
+    let per_cust = aggregate(
+        orders,
+        &["o_custkey"],
+        vec![AggSpec::new(AggFunc::Count, Expr::lit(1), "o_count")],
+    );
+    // Left-outer from CUSTOMER so zero-order customers appear with count 0.
+    let customer = b.scan("customer", &["c_custkey"], vec![]);
+    let joined = join_full(
+        customer,
+        per_cust,
+        &[("c_custkey", "o_custkey")],
+        JoinType::LeftOuter,
+        Some(("FK_O_C", FkSide::Right)),
+        None,
+    );
+    let counts = project(
+        joined,
+        vec![(
+            Expr::if_else(
+                Expr::col(MATCHED_COLUMN).eq(Expr::lit(1)),
+                Expr::col("o_count"),
+                Expr::lit(0),
+            ),
+            "c_count",
+        )],
+    );
+    let dist = aggregate(
+        counts,
+        &["c_count"],
+        vec![AggSpec::new(AggFunc::Count, Expr::lit(1), "custdist")],
+    );
+    let plan = sort(dist, vec![SortKey::desc("custdist"), SortKey::desc("c_count")], None);
+    ctx.run(&plan)
+}

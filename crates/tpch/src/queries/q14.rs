@@ -1,0 +1,38 @@
+//! Q14 — promotion effect: PROMO revenue share for September 1995.
+
+use bdcc_exec::{aggregate, join, project, AggFunc, AggSpec, Batch, ColPredicate, Expr, FkSide,
+    LikePattern, PlanBuilder, Result};
+
+use super::{date, revenue_expr, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let lineitem = b.scan(
+        "lineitem",
+        &["l_partkey", "l_extendedprice", "l_discount"],
+        vec![ColPredicate::range("l_shipdate", date("1995-09-01"), date("1995-10-01"))],
+    );
+    let part = b.scan("part", &["p_partkey", "p_type"], vec![]);
+    let lp = join(lineitem, part, &[("l_partkey", "p_partkey")], Some(("FK_L_P", FkSide::Left)));
+    let promo = Expr::if_else(
+        Expr::col("p_type").like(LikePattern::StartsWith("PROMO".into())),
+        revenue_expr(),
+        Expr::lit(0.0),
+    );
+    let agg = aggregate(
+        lp,
+        &[],
+        vec![
+            AggSpec::new(AggFunc::Sum, promo, "promo"),
+            AggSpec::new(AggFunc::Sum, revenue_expr(), "total"),
+        ],
+    );
+    let plan = project(
+        agg,
+        vec![(
+            Expr::lit(100.0).mul(Expr::col("promo")).div(Expr::col("total")),
+            "promo_revenue",
+        )],
+    );
+    ctx.run(&plan)
+}

@@ -1,0 +1,51 @@
+//! Q15 — top supplier: the revenue view is aggregated once for the MAX
+//! scalar, then re-aggregated and filtered to equality (ties included, as
+//! the spec demands).
+
+use bdcc_exec::{aggregate, filter, join, project, sort, AggFunc, AggSpec, Batch, ColPredicate,
+    Expr, Node, PlanBuilder, Result, SortKey};
+
+use super::{date, revenue_expr, QueryCtx};
+
+fn revenue_view(b: &PlanBuilder) -> Node {
+    let lineitem = b.scan(
+        "lineitem",
+        &["l_suppkey", "l_extendedprice", "l_discount"],
+        vec![ColPredicate::range("l_shipdate", date("1996-01-01"), date("1996-04-01"))],
+    );
+    aggregate(
+        lineitem,
+        &["l_suppkey"],
+        vec![AggSpec::new(AggFunc::Sum, revenue_expr(), "total_revenue")],
+    )
+}
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    // Phase 1: the maximum view revenue.
+    let b = PlanBuilder::new();
+    let max_plan = aggregate(
+        revenue_view(&b),
+        &[],
+        vec![AggSpec::new(AggFunc::Max, Expr::col("total_revenue"), "max_rev")],
+    );
+    let max_rev = ctx.scalar_f64(&max_plan)?;
+
+    // Phase 2: suppliers achieving it (float equality is exact: both sides
+    // are computed by the identical accumulation).
+    let b = PlanBuilder::new();
+    let top = filter(revenue_view(&b), Expr::col("total_revenue").ge(Expr::lit(max_rev)));
+    let supplier = b.scan("supplier", &["s_suppkey", "s_name", "s_address", "s_phone"], vec![]);
+    let joined = join(supplier, top, &[("s_suppkey", "l_suppkey")], None);
+    let out = project(
+        joined,
+        vec![
+            (Expr::col("s_suppkey"), "s_suppkey"),
+            (Expr::col("s_name"), "s_name"),
+            (Expr::col("s_address"), "s_address"),
+            (Expr::col("s_phone"), "s_phone"),
+            (Expr::col("total_revenue"), "total_revenue"),
+        ],
+    );
+    let plan = sort(out, vec![SortKey::asc("s_suppkey")], None);
+    ctx.run(&plan)
+}

@@ -1,0 +1,49 @@
+//! Q17 — small-quantity-order revenue for Brand#23 MED BOX parts: the
+//! correlated AVG subquery becomes an aggregate-and-rejoin on partkey.
+
+use bdcc_exec::{aggregate, filter, join, project, AggFunc, AggSpec, Batch, ColPredicate, Datum,
+    Expr, FkSide, PlanBuilder, Result};
+
+use super::QueryCtx;
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let part = b.scan(
+        "part",
+        &["p_partkey"],
+        vec![
+            ColPredicate::eq("p_brand", Datum::Str("Brand#23".into())),
+            ColPredicate::eq("p_container", Datum::Str("MED BOX".into())),
+        ],
+    );
+    // Average quantity per selected part.
+    let li_avg = b.scan("lineitem", &["l_partkey", "l_quantity"], vec![]);
+    let li_avg =
+        join(li_avg, part, &[("l_partkey", "p_partkey")], Some(("FK_L_P", FkSide::Left)));
+    let avg = aggregate(
+        li_avg,
+        &["l_partkey"],
+        vec![AggSpec::new(AggFunc::Avg, Expr::col("l_quantity"), "avg_qty")],
+    );
+    let avg = project(
+        avg,
+        vec![
+            (Expr::col("l_partkey"), "a_partkey"),
+            (Expr::lit(0.2).mul(Expr::col("avg_qty")), "threshold"),
+        ],
+    );
+    // Lineitems below the per-part threshold.
+    let li = b.scan("lineitem", &["l_partkey", "l_quantity", "l_extendedprice"], vec![]);
+    let joined = join(li, avg, &[("l_partkey", "a_partkey")], None);
+    let small = filter(joined, Expr::col("l_quantity").lt(Expr::col("threshold")));
+    let total = aggregate(
+        small,
+        &[],
+        vec![AggSpec::new(AggFunc::Sum, Expr::col("l_extendedprice"), "sum_price")],
+    );
+    let plan = project(
+        total,
+        vec![(Expr::col("sum_price").div(Expr::lit(7.0)), "avg_yearly")],
+    );
+    ctx.run(&plan)
+}

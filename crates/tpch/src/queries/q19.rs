@@ -1,0 +1,48 @@
+//! Q19 — discounted revenue: three disjunctive brand/container/quantity
+//! branches evaluated as a join residual.
+
+use bdcc_exec::{aggregate, join_full, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr,
+    FkSide, JoinType, PlanBuilder, Result};
+
+use super::{revenue_expr, QueryCtx};
+
+fn branch(brand: &str, containers: [&str; 4], qlo: f64, qhi: f64, size_hi: i64) -> Expr {
+    Expr::col("p_brand")
+        .eq(Expr::lit(brand))
+        .and(Expr::col("p_container").in_list(
+            containers.iter().map(|c| Datum::Str(c.to_string())).collect(),
+        ))
+        .and(Expr::col("l_quantity").ge(Expr::lit(qlo)))
+        .and(Expr::col("l_quantity").le(Expr::lit(qhi)))
+        .and(Expr::col("p_size").ge(Expr::lit(1)))
+        .and(Expr::col("p_size").le(Expr::lit(size_hi)))
+}
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let lineitem = b.scan(
+        "lineitem",
+        &["l_partkey", "l_quantity", "l_extendedprice", "l_discount"],
+        vec![
+            ColPredicate::in_list(
+                "l_shipmode",
+                vec![Datum::Str("AIR".into()), Datum::Str("REG AIR".into())],
+            ),
+            ColPredicate::eq("l_shipinstruct", Datum::Str("DELIVER IN PERSON".into())),
+        ],
+    );
+    let part = b.scan("part", &["p_partkey", "p_brand", "p_container", "p_size"], vec![]);
+    let cond = branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
+        .or(branch("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10))
+        .or(branch("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15));
+    let lp = join_full(
+        lineitem,
+        part,
+        &[("l_partkey", "p_partkey")],
+        JoinType::Inner,
+        Some(("FK_L_P", FkSide::Left)),
+        Some(cond),
+    );
+    let plan = aggregate(lp, &[], vec![AggSpec::new(AggFunc::Sum, revenue_expr(), "revenue")]);
+    ctx.run(&plan)
+}

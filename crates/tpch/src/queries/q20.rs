@@ -1,0 +1,60 @@
+//! Q20 — potential part promotion: CANADA suppliers holding excess stock
+//! of forest parts. Nested subqueries lowered to aggregates and semi joins.
+
+use bdcc_exec::{aggregate, filter, join, join_full, project, sort, AggFunc, AggSpec, Batch,
+    ColPredicate, Datum, Expr, FkSide, JoinType, LikePattern, PlanBuilder, Result, SortKey};
+
+use super::{date, QueryCtx};
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    // Half the 1994 shipped quantity per (part, supplier).
+    let li = b.scan(
+        "lineitem",
+        &["l_partkey", "l_suppkey", "l_quantity"],
+        vec![ColPredicate::range("l_shipdate", date("1994-01-01"), date("1995-01-01"))],
+    );
+    let shipped = aggregate(
+        li,
+        &["l_partkey", "l_suppkey"],
+        vec![AggSpec::new(AggFunc::Sum, Expr::col("l_quantity"), "sum_qty")],
+    );
+    let shipped = project(
+        shipped,
+        vec![
+            (Expr::col("l_partkey"), "sq_partkey"),
+            (Expr::col("l_suppkey"), "sq_suppkey"),
+            (Expr::lit(0.5).mul(Expr::col("sum_qty")), "half_qty"),
+        ],
+    );
+    // Partsupp rows for forest parts with availqty above the threshold.
+    let forest = b.scan(
+        "part",
+        &["p_partkey"],
+        vec![ColPredicate::like("p_name", LikePattern::StartsWith("forest".into()))],
+    );
+    let ps = b.scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty"], vec![]);
+    let ps = join_full(
+        ps,
+        forest,
+        &[("ps_partkey", "p_partkey")],
+        JoinType::Semi,
+        Some(("FK_PS_P", FkSide::Left)),
+        None,
+    );
+    let ps = join(ps, shipped, &[("ps_partkey", "sq_partkey"), ("ps_suppkey", "sq_suppkey")], None);
+    let excess = filter(ps, Expr::col("ps_availqty").gt(Expr::col("half_qty")));
+    let supp_keys = project(excess, vec![(Expr::col("ps_suppkey"), "x_suppkey")]);
+    // CANADA suppliers among them.
+    let nation = b.scan(
+        "nation",
+        &["n_nationkey"],
+        vec![ColPredicate::eq("n_name", Datum::Str("CANADA".into()))],
+    );
+    let supplier = b.scan("supplier", &["s_suppkey", "s_name", "s_address", "s_nationkey"], vec![]);
+    let sn = join(supplier, nation, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)));
+    let out = join_full(sn, supp_keys, &[("s_suppkey", "x_suppkey")], JoinType::Semi, None, None);
+    let out = project(out, vec![(Expr::col("s_name"), "s_name"), (Expr::col("s_address"), "s_address")]);
+    let plan = sort(out, vec![SortKey::asc("s_name")], None);
+    ctx.run(&plan)
+}

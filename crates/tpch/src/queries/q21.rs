@@ -1,0 +1,70 @@
+//! Q21 — suppliers who kept orders waiting: the only multi-lineitem-alias
+//! query; EXISTS/NOT EXISTS lowered to semi/anti joins with a
+//! different-supplier residual.
+
+use bdcc_exec::{aggregate, filter, join, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate,
+    Datum, Expr, FkSide, JoinType, PlanBuilder, Result, SortKey};
+
+use super::QueryCtx;
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    let b = PlanBuilder::new();
+    let nation = b.scan(
+        "nation",
+        &["n_nationkey"],
+        vec![ColPredicate::eq("n_name", Datum::Str("SAUDI ARABIA".into()))],
+    );
+    let supplier = b.scan("supplier", &["s_suppkey", "s_name", "s_nationkey"], vec![]);
+    let l1 = filter(
+        b.scan(
+            "lineitem",
+            &["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"],
+            vec![],
+        ),
+        Expr::col("l_receiptdate").gt(Expr::col("l_commitdate")),
+    );
+    let orders = b.scan(
+        "orders",
+        &["o_orderkey"],
+        vec![ColPredicate::eq("o_orderstatus", Datum::Str("F".into()))],
+    );
+    let l2 = b.scan_as("lineitem", "l2", &["l_orderkey", "l_suppkey"], vec![]);
+    let l3 = filter(
+        b.scan_as(
+            "lineitem",
+            "l3",
+            &["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"],
+            vec![],
+        ),
+        Expr::col("l3_receiptdate").gt(Expr::col("l3_commitdate")),
+    );
+
+    let ls = join(l1, supplier, &[("l_suppkey", "s_suppkey")], Some(("FK_L_S", FkSide::Left)));
+    let ln = join(ls, nation, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)));
+    let lo = join(ln, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    // EXISTS another lineitem of the same order from a different supplier.
+    let with_l2 = join_full(
+        lo,
+        l2,
+        &[("l_orderkey", "l2_orderkey")],
+        JoinType::Semi,
+        None,
+        Some(Expr::col("l2_suppkey").ne(Expr::col("l_suppkey"))),
+    );
+    // NOT EXISTS a *late* lineitem from a different supplier.
+    let without_l3 = join_full(
+        with_l2,
+        l3,
+        &[("l_orderkey", "l3_orderkey")],
+        JoinType::Anti,
+        None,
+        Some(Expr::col("l3_suppkey").ne(Expr::col("l_suppkey"))),
+    );
+    let agg = aggregate(
+        without_l3,
+        &["s_name"],
+        vec![AggSpec::new(AggFunc::Count, Expr::lit(1), "numwait")],
+    );
+    let plan = sort(agg, vec![SortKey::desc("numwait"), SortKey::asc("s_name")], Some(100));
+    ctx.run(&plan)
+}

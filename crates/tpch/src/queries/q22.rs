@@ -1,0 +1,62 @@
+//! Q22 — global sales opportunity: phone country codes, an average-balance
+//! scalar, and NOT EXISTS lowered to an anti join against ORDERS.
+
+use bdcc_exec::{aggregate, filter, join_full, project, sort, AggFunc, AggSpec, Batch, Datum,
+    Expr, FkSide, JoinType, Node, PlanBuilder, Result, SortKey};
+
+use super::QueryCtx;
+
+fn codes() -> Vec<Datum> {
+    ["13", "31", "23", "29", "30", "18", "17"]
+        .iter()
+        .map(|c| Datum::Str(c.to_string()))
+        .collect()
+}
+
+fn coded_customers(b: &PlanBuilder) -> Node {
+    let customer = b.scan("customer", &["c_custkey", "c_phone", "c_acctbal"], vec![]);
+    let with_code = project(
+        customer,
+        vec![
+            (Expr::col("c_custkey"), "c_custkey"),
+            (Expr::col("c_acctbal"), "c_acctbal"),
+            (Expr::col("c_phone").prefix(2), "cntrycode"),
+        ],
+    );
+    filter(with_code, Expr::col("cntrycode").in_list(codes()))
+}
+
+pub fn run(ctx: &QueryCtx) -> Result<Batch> {
+    // Phase 1: average positive balance of coded customers.
+    let b = PlanBuilder::new();
+    let positive = filter(coded_customers(&b), Expr::col("c_acctbal").gt(Expr::lit(0.0)));
+    let avg_plan = aggregate(
+        positive,
+        &[],
+        vec![AggSpec::new(AggFunc::Avg, Expr::col("c_acctbal"), "avg_bal")],
+    );
+    let avg_bal = ctx.scalar_f64(&avg_plan)?;
+
+    // Phase 2: rich coded customers without orders.
+    let b = PlanBuilder::new();
+    let rich = filter(coded_customers(&b), Expr::col("c_acctbal").gt(Expr::lit(avg_bal)));
+    let orders = b.scan("orders", &["o_custkey"], vec![]);
+    let no_orders = join_full(
+        rich,
+        orders,
+        &[("c_custkey", "o_custkey")],
+        JoinType::Anti,
+        Some(("FK_O_C", FkSide::Right)),
+        None,
+    );
+    let agg = aggregate(
+        no_orders,
+        &["cntrycode"],
+        vec![
+            AggSpec::new(AggFunc::Count, Expr::lit(1), "numcust"),
+            AggSpec::new(AggFunc::Sum, Expr::col("c_acctbal"), "totacctbal"),
+        ],
+    );
+    let plan = sort(agg, vec![SortKey::asc("cntrycode")], None);
+    ctx.run(&plan)
+}

@@ -1,0 +1,218 @@
+//! Text generation: names, types, comments, phones.
+//!
+//! Word lists follow the TPC-H specification closely enough that every
+//! string predicate in the 22 queries selects a realistic fraction:
+//! `p_type like '%BRASS'`, `p_name like '%green%'`,
+//! `o_comment not like '%special%requests%'`,
+//! `s_comment like '%Customer%Complaints%'`, containers, brands, segments,
+//! ship modes, priorities, and Q22's phone country codes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nations with their region keys.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("VIETNAM", 2),
+    ("CHINA", 2),
+];
+
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+pub const SHIP_INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+pub const TYPE_SYLLABLE_1: [&str; 6] =
+    ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+pub const CONTAINER_SYLLABLE_1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+pub const CONTAINER_SYLLABLE_2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Colors used in part names (`p_name like '%green%'` — Q9/Q20).
+pub const COLORS: [&str; 20] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "green", "red", "rose", "salmon",
+    "white", "yellow",
+];
+
+/// Comment vocabulary. Includes the tokens the queries grep for:
+/// `special`/`requests` (Q13) and `Customer`/`Complaints` (Q16).
+pub const COMMENT_WORDS: [&str; 32] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "express", "special", "regular",
+    "ironic", "pending", "final", "bold", "unusual", "requests", "deposits", "packages",
+    "theodolites", "accounts", "instructions", "foxes", "pinto", "beans", "dependencies", "ideas",
+    "platelets", "sleep", "haggle", "nag", "wake", "Customer", "Complaints", "excuses",
+];
+
+/// A comment of `min..=max` words.
+pub fn comment(rng: &mut StdRng, min: usize, max: usize) -> String {
+    let n = rng.random_range(min..=max);
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(COMMENT_WORDS[rng.random_range(0..COMMENT_WORDS.len())]);
+    }
+    out
+}
+
+/// A part name: five colors joined by spaces.
+pub fn part_name(rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for i in 0..5 {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(COLORS[rng.random_range(0..COLORS.len())]);
+    }
+    out
+}
+
+/// `Brand#MN` with M, N ∈ 1..=5.
+pub fn brand(rng: &mut StdRng) -> (i64, String) {
+    let m = rng.random_range(1..=5);
+    let n = rng.random_range(1..=5);
+    (m, format!("Brand#{m}{n}"))
+}
+
+/// A part type: three syllables.
+pub fn part_type(rng: &mut StdRng) -> String {
+    format!(
+        "{} {} {}",
+        TYPE_SYLLABLE_1[rng.random_range(0..6)],
+        TYPE_SYLLABLE_2[rng.random_range(0..5)],
+        TYPE_SYLLABLE_3[rng.random_range(0..5)]
+    )
+}
+
+/// A container: two syllables.
+pub fn container(rng: &mut StdRng) -> String {
+    format!(
+        "{} {}",
+        CONTAINER_SYLLABLE_1[rng.random_range(0..5)],
+        CONTAINER_SYLLABLE_2[rng.random_range(0..8)]
+    )
+}
+
+/// Phone in the spec's format: country code `10 + nationkey`, then three
+/// random groups — Q22 extracts the two-digit country code prefix.
+pub fn phone(rng: &mut StdRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.random_range(100..1000),
+        rng.random_range(100..1000),
+        rng.random_range(1000..10000)
+    )
+}
+
+/// A random address-ish token string.
+pub fn address(rng: &mut StdRng) -> String {
+    let len = rng.random_range(8..24);
+    (0..len)
+        .map(|_| {
+            let c = rng.random_range(0..36);
+            if c < 10 {
+                (b'0' + c) as char
+            } else {
+                (b'a' + c - 10) as char
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nations_and_regions_are_spec_complete() {
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        for (_, r) in NATIONS {
+            assert!((0..5).contains(&r));
+        }
+        // Every region hosts at least one nation.
+        for r in 0..5 {
+            assert!(NATIONS.iter().any(|&(_, reg)| reg == r));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(comment(&mut a, 3, 8), comment(&mut b, 3, 8));
+        assert_eq!(part_type(&mut a), part_type(&mut b));
+        assert_eq!(phone(&mut a, 3), phone(&mut b, 3));
+    }
+
+    #[test]
+    fn phone_country_code_matches_nation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = phone(&mut rng, 13);
+        assert!(p.starts_with("23-"));
+        assert_eq!(p.len(), "23-123-456-7890".len());
+    }
+
+    #[test]
+    fn brand_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let (m, b) = brand(&mut rng);
+            assert!(b.starts_with("Brand#"));
+            assert!((1..=5).contains(&m));
+            assert_eq!(b.len(), 8);
+        }
+    }
+
+    #[test]
+    fn comment_tokens_eventually_cover_query_patterns() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut special_requests = false;
+        for _ in 0..5000 {
+            let c = comment(&mut rng, 4, 10);
+            if let Some(i) = c.find("special") {
+                if c[i..].contains("requests") {
+                    special_requests = true;
+                }
+            }
+        }
+        assert!(special_requests, "Q13 pattern never generated");
+    }
+}

@@ -1,0 +1,133 @@
+//! A non-TPC-H scenario: a retail star schema (sales fact, store and
+//! product dimensions with a region hierarchy) designed automatically and
+//! queried with selection propagation and a sandwich join — showing BDCC
+//! is "not limited to typical star and snowflake schemas" but works on
+//! anything with declared foreign keys and hints.
+//!
+//! ```sh
+//! cargo run --release --example retail_star
+//! ```
+
+use std::sync::Arc;
+
+use bdcc::prelude::*;
+use bdcc_catalog::{ColumnDef, TableDef};
+use bdcc_exec::{aggregate, join, AggFunc, AggSpec, ColPredicate, Expr, FkSide, PlanBuilder,
+    QueryContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut cat = Catalog::new();
+    let int = |n: &str| ColumnDef { name: n.into(), data_type: DataType::Int };
+    cat.create_table(TableDef {
+        name: "store".into(),
+        columns: vec![int("st_key"), int("st_region"), int("st_city")],
+        primary_key: vec!["st_key".into()],
+    })
+    .unwrap();
+    cat.create_table(TableDef {
+        name: "product".into(),
+        columns: vec![int("pr_key"), int("pr_category")],
+        primary_key: vec!["pr_key".into()],
+    })
+    .unwrap();
+    cat.create_table(TableDef {
+        name: "sales".into(),
+        columns: vec![int("sa_key"), int("sa_store"), int("sa_product"), int("sa_amount")],
+        primary_key: vec!["sa_key".into()],
+    })
+    .unwrap();
+    cat.create_foreign_key("FK_SA_ST", "sales", &["sa_store"], "store", &["st_key"]).unwrap();
+    cat.create_foreign_key("FK_SA_PR", "sales", &["sa_product"], "product", &["pr_key"]).unwrap();
+    // Hints: a hierarchical store dimension (region major, like the
+    // paper's NATION(n_regionkey, n_nationkey)), a product dimension, and
+    // the fact's FK hints.
+    cat.create_index("store_idx", "store", &["st_region", "st_key"]).unwrap();
+    cat.create_index("product_idx", "product", &["pr_key"]).unwrap();
+    cat.create_index("sa_st", "sales", &["sa_store"]).unwrap();
+    cat.create_index("sa_pr", "sales", &["sa_product"]).unwrap();
+
+    // Data: 8 regions × 8 stores, 256 products, 200k sales.
+    let mut rng = StdRng::seed_from_u64(7);
+    let stores = 64i64;
+    let products = 256i64;
+    let n = 200_000usize;
+    let mut db = Database::new(cat);
+    let attach = |db: &mut Database, t: StoredTable| {
+        let id = db.catalog().table_id(t.name()).unwrap();
+        db.attach(id, Arc::new(t));
+    };
+    attach(
+        &mut db,
+        bdcc::storage::TableBuilder::new("store")
+            .column("st_key", Column::from_i64((0..stores).collect()))
+            .column("st_region", Column::from_i64((0..stores).map(|k| k / 8).collect()))
+            .column("st_city", Column::from_i64((0..stores).map(|k| k % 8).collect()))
+            .build()
+            .unwrap(),
+    );
+    attach(
+        &mut db,
+        bdcc::storage::TableBuilder::new("product")
+            .column("pr_key", Column::from_i64((0..products).collect()))
+            .column("pr_category", Column::from_i64((0..products).map(|k| k / 32).collect()))
+            .build()
+            .unwrap(),
+    );
+    let sa_store: Vec<i64> = (0..n).map(|_| rng.random_range(0..stores)).collect();
+    let sa_product: Vec<i64> = (0..n).map(|_| rng.random_range(0..products)).collect();
+    let sa_amount: Vec<i64> = (0..n).map(|_| rng.random_range(1..1000)).collect();
+    attach(
+        &mut db,
+        bdcc::storage::TableBuilder::new("sales")
+            .column("sa_key", Column::from_i64((0..n as i64).collect()))
+            .column("sa_store", Column::from_i64(sa_store))
+            .column("sa_product", Column::from_i64(sa_product))
+            .column("sa_amount", Column::from_i64(sa_amount))
+            .build()
+            .unwrap(),
+    );
+
+    // Automatic design + clustering.
+    let plain = Arc::new(plain_scheme(&db));
+    let clustered = Arc::new(bdcc_scheme(&db, &DesignConfig::default()).unwrap());
+    let schema = clustered.bdcc.as_ref().unwrap();
+    println!("derived dimensions:");
+    for d in &schema.dimensions {
+        println!("  {} ({} bits, {} bins)", d.name, d.bits(), d.bin_count());
+    }
+
+    // Query: revenue per city for region 3 — the region selection maps to
+    // a consecutive D_STORE bin range and propagates into SALES.
+    let build_plan = || {
+        let b = PlanBuilder::new();
+        let store = b.scan(
+            "store",
+            &["st_key", "st_city"],
+            vec![ColPredicate::eq("st_region", 3i64)],
+        );
+        let sales = b.scan("sales", &["sa_store", "sa_amount"], vec![]);
+        let joined = join(sales, store, &[("sa_store", "st_key")], Some(("FK_SA_ST", FkSide::Left)));
+        aggregate(
+            joined,
+            &["st_city"],
+            vec![AggSpec::new(AggFunc::Sum, Expr::col("sa_amount"), "revenue")],
+        )
+    };
+    println!("\nrevenue per city of region 3:");
+    for sdb in [&plain, &clustered] {
+        let qc = QueryContext::new(Arc::clone(sdb));
+        let (out, m) = bdcc_exec::run_measured(&qc, &build_plan()).unwrap();
+        println!(
+            "  {:>5}: {} rows, {:>6.1} ms, {:>6} KB read, peak memory {} KB",
+            sdb.scheme.name(),
+            out.rows(),
+            m.seconds * 1000.0,
+            m.io.bytes_read / 1024,
+            m.peak_memory / 1024,
+        );
+    }
+    println!("\nBDCC reads only region 3's co-cluster of SALES (selection propagation)");
+    println!("and joins it store-group-at-a-time (sandwich join).");
+}

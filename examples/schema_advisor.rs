@@ -1,0 +1,53 @@
+//! The paper's Section IV design tables as an "advisor" report: feed the
+//! TPC-H DDL and the three index hints to Algorithm 2 and print the
+//! dimensions and per-table dimension uses it derives — both at paper
+//! scale (SF100 statistics) and on generated data.
+//!
+//! ```sh
+//! cargo run --release --example schema_advisor
+//! ```
+
+use bdcc::prelude::*;
+use bdcc_core::{mask_to_string, render_path};
+use bdcc_tpch::ddl::{sf100_ndv, tpch_catalog};
+
+fn main() {
+    let cfg = DesignConfig::default();
+    let catalog = tpch_catalog();
+
+    println!("== BDCC schema advisor: TPC-H at paper scale (SF100 statistics) ==\n");
+    let (dims, tables) = preview_design(&catalog, &sf100_ndv(), &cfg).unwrap();
+    println!("dimensions:");
+    for d in &dims {
+        println!("  {:<9} {:>2} bits  {}({})", d.name, d.bits, d.table.to_uppercase(), d.key.join(","));
+    }
+    println!("\ndimension uses (cf. the paper's Section IV table):");
+    for t in &tables {
+        println!("  {}:", t.table.to_uppercase());
+        for u in &t.uses {
+            println!("    {:<9} {:<22} {}", u.dim_name, u.path, u.mask);
+        }
+    }
+
+    println!("\n== The same design, measured on generated data (SF 0.01) ==\n");
+    let db = bdcc::tpch::generate(&GenConfig::new(0.01));
+    let schema = design_and_cluster(&db, &cfg).unwrap();
+    for (tid, bt) in &schema.tables {
+        println!(
+            "  {:<9} B={:<2} b={:<2} groups={:<5} max group={} rows",
+            db.catalog().table_name(*tid).to_uppercase(),
+            bt.total_bits,
+            bt.granularity,
+            bt.count.group_count(),
+            bt.count.max_group_rows()
+        );
+        for u in &bt.uses {
+            println!(
+                "    {:<9} {:<22} {}",
+                schema.dimension(u.dim).name,
+                render_path(db.catalog(), &u.path),
+                mask_to_string(u.mask, bt.total_bits)
+            );
+        }
+    }
+}
