@@ -1,0 +1,51 @@
+//! Criterion bench for the morsel-driven parallel subsystem: Q1 (scan +
+//! wide aggregation) and Q6 (selective scan + global aggregation) under
+//! every scheme, 1 worker vs. 4 workers. The companion binary
+//! `par_speedup` prints the same comparison as a speedup table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use bdcc_core::DesignConfig;
+use bdcc_exec::{bdcc_scheme, pk_scheme, plain_scheme, ParallelConfig, QueryContext};
+use bdcc_tpch::{all_queries, generate, GenConfig, QueryCtx};
+
+fn bench_parallel(c: &mut Criterion) {
+    let sf = 0.01;
+    let db = generate(&GenConfig::new(sf));
+    let schemes = vec![
+        Arc::new(plain_scheme(&db)),
+        Arc::new(pk_scheme(&db).unwrap()),
+        Arc::new(bdcc_scheme(&db, &DesignConfig::default()).unwrap()),
+    ];
+    let queries = all_queries();
+    for qid in [1usize, 6] {
+        let q = queries.iter().find(|q| q.id == qid).unwrap();
+        for sdb in &schemes {
+            for threads in [1usize, 4] {
+                let name =
+                    format!("q{qid:02}_{}_{}thread", sdb.scheme.name().to_lowercase(), threads);
+                c.bench_function(&name, |b| {
+                    b.iter(|| {
+                        let qc = if threads == 1 {
+                            QueryContext::new(Arc::clone(sdb))
+                        } else {
+                            QueryContext::with_parallel(
+                                Arc::clone(sdb),
+                                ParallelConfig::with_threads(threads),
+                            )
+                        };
+                        (q.run)(&QueryCtx::new(qc, sf)).unwrap()
+                    })
+                });
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel
+}
+criterion_main!(benches);

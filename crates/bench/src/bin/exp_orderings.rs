@@ -40,14 +40,8 @@ fn main() {
             ms(all[2].1[q].seconds),
         ]);
     }
-    let totals: Vec<f64> =
-        all.iter().map(|(_, r)| r.iter().map(|m| m.seconds).sum()).collect();
-    rows.push(vec![
-        "TOTAL".into(),
-        ms(totals[0]),
-        ms(totals[1]),
-        ms(totals[2]),
-    ]);
+    let totals: Vec<f64> = all.iter().map(|(_, r)| r.iter().map(|m| m.seconds).sum()).collect();
+    rows.push(vec!["TOTAL".into(), ms(totals[0]), ms(totals[1]), ms(totals[2])]);
     print_table(&["query", all[0].0, all[1].0, all[2].0], &rows);
     println!("\npaper (SF100): automatic Z-order 284s vs hand major-minor 291s (comparable, auto slightly faster)");
     println!(

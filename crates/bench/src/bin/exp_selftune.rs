@@ -61,5 +61,7 @@ fn main() {
         ]);
     }
     print_table(&["granularity", "groups", "hist (entry x = groups of size [2^(x-1),2^x))"], &rows);
-    println!("\npaper example: at SF100 LINEITEM's densest column has 550000 32KB pages -> b = 20 bits");
+    println!(
+        "\npaper example: at SF100 LINEITEM's densest column has 550000 32KB pages -> b = 20 bits"
+    );
 }

@@ -28,15 +28,8 @@ fn main() {
             runs[2][q].rows.to_string(),
         ]);
     }
-    let totals: Vec<f64> =
-        runs.iter().map(|r| r.iter().map(|m| m.seconds).sum()).collect();
-    rows.push(vec![
-        "TOTAL".into(),
-        ms(totals[0]),
-        ms(totals[1]),
-        ms(totals[2]),
-        String::new(),
-    ]);
+    let totals: Vec<f64> = runs.iter().map(|r| r.iter().map(|m| m.seconds).sum()).collect();
+    rows.push(vec!["TOTAL".into(), ms(totals[0]), ms(totals[1]), ms(totals[2]), String::new()]);
     print_table(&["query", "Plain", "PK", "BDCC", "rows"], &rows);
 
     println!("\n== Figure 2 (I/O model): estimated cold-read seconds ==");

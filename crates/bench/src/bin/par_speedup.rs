@@ -1,0 +1,70 @@
+//! Parallel speedup report: Q1 and Q6 under each scheme, executed with 1
+//! and 4 morsel workers, with the measured speedup. Scale factor from
+//! `BDCC_SF` (default 0.01); thread counts from `BDCC_THREADS` (comma
+//! separated, default `1,4`).
+//!
+//! Note: wall-clock speedup obviously requires the machine to *have*
+//! cores; the report prints the detected parallelism so a 1-core
+//! container's ~1.0× is interpretable.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bdcc_bench::{build_schemes, generate_db, print_table, scale_factor};
+use bdcc_core::DesignConfig;
+use bdcc_exec::{ParallelConfig, QueryContext};
+use bdcc_tpch::{all_queries, QueryCtx};
+
+fn main() {
+    let sf = scale_factor();
+    let threads: Vec<usize> = std::env::var("BDCC_THREADS")
+        .unwrap_or_else(|_| "1,4".into())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("E-PAR — morsel-driven parallel speedup (SF {sf}, {cores} core(s) available)");
+    let db = generate_db(sf);
+    let schemes = build_schemes(&db, &DesignConfig::default());
+    let queries = all_queries();
+
+    let mut rows = Vec::new();
+    for qid in [1usize, 6] {
+        let q = queries.iter().find(|q| q.id == qid).unwrap();
+        for sdb in &schemes {
+            let mut timings: Vec<(usize, f64)> = Vec::new();
+            for &t in &threads {
+                let run_once = || {
+                    let qc = if t <= 1 {
+                        QueryContext::new(Arc::clone(sdb))
+                    } else {
+                        QueryContext::with_parallel(
+                            Arc::clone(sdb),
+                            ParallelConfig::with_threads(t),
+                        )
+                    };
+                    let ctx = QueryCtx::new(qc, sf);
+                    (q.run)(&ctx).expect("query runs")
+                };
+                run_once(); // warm up
+                let reps = 5;
+                let start = Instant::now();
+                for _ in 0..reps {
+                    run_once();
+                }
+                timings.push((t, start.elapsed().as_secs_f64() / reps as f64));
+            }
+            let base = timings.first().map(|&(_, s)| s).unwrap_or(0.0);
+            for &(t, secs) in &timings {
+                rows.push(vec![
+                    format!("Q{qid:02}"),
+                    sdb.scheme.name().to_string(),
+                    t.to_string(),
+                    format!("{:.2}", secs * 1000.0),
+                    format!("{:.2}x", if secs > 0.0 { base / secs } else { 0.0 }),
+                ]);
+            }
+        }
+    }
+    print_table(&["query", "scheme", "threads", "ms", "speedup"], &rows);
+}

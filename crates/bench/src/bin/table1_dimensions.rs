@@ -22,9 +22,7 @@ fn main() {
     let (dims, _) = preview_design(&catalog, &sf100_ndv(), &cfg).expect("preview");
     let rows: Vec<Vec<String>> = dims
         .iter()
-        .map(|d| {
-            vec![d.name.clone(), d.bits.to_string(), d.table.to_uppercase(), d.key.join(",")]
-        })
+        .map(|d| vec![d.name.clone(), d.bits.to_string(), d.table.to_uppercase(), d.key.join(",")])
         .collect();
     print_table(&["BDCC dimension D", "bits(D)", "table T(D)", "key K(D)"], &rows);
     println!("  (paper: D_NATION 5, D_PART 13, D_DATE 13 — D_DATE has 2406 NDV → 12 bits here)");

@@ -4,7 +4,7 @@
 //! rounding.
 
 use bdcc_bench::{generate_db, print_table, scale_factor};
-use bdcc_core::{design_and_cluster, preview_design, render_path, DesignConfig, mask_to_string};
+use bdcc_core::{design_and_cluster, mask_to_string, preview_design, render_path, DesignConfig};
 use bdcc_tpch::ddl::{sf100_ndv, tpch_catalog};
 
 fn main() {
@@ -34,11 +34,7 @@ fn main() {
     for (tid, bt) in &schema.tables {
         for (i, u) in bt.uses.iter().enumerate() {
             rows.push(vec![
-                if i == 0 {
-                    db.catalog().table_name(*tid).to_uppercase()
-                } else {
-                    String::new()
-                },
+                if i == 0 { db.catalog().table_name(*tid).to_uppercase() } else { String::new() },
                 schema.dimension(u.dim).name.clone(),
                 render_path(db.catalog(), &u.path),
                 mask_to_string(u.mask, bt.total_bits),

@@ -65,7 +65,8 @@ pub fn run_all_queries(sdb: &Arc<SchemeDb>, sf: f64) -> Vec<QueryRun> {
         ctx.qc.tracker.reset();
         ctx.qc.io.reset();
         let t = Instant::now();
-        let batch = (q.run)(&ctx).unwrap_or_else(|e| panic!("{} on {}: {e}", q.name, sdb.scheme.name()));
+        let batch =
+            (q.run)(&ctx).unwrap_or_else(|e| panic!("{} on {}: {e}", q.name, sdb.scheme.name()));
         let seconds = t.elapsed().as_secs_f64();
         let io = ctx.qc.io.stats();
         out.push(QueryRun {

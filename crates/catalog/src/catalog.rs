@@ -190,10 +190,7 @@ impl Catalog {
 
     /// Resolve a table name.
     pub fn table_id(&self, name: &str) -> Result<TableId, CatalogError> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
+        self.by_name.get(name).copied().ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
     }
 
     /// Table definition by id.
@@ -309,9 +306,7 @@ mod tests {
         assert!(c
             .create_foreign_key("bad", "supplier", &["nope"], "nation", &["n_nationkey"])
             .is_err());
-        assert!(c
-            .create_foreign_key("bad2", "supplier", &["s_nationkey"], "nation", &[])
-            .is_err());
+        assert!(c.create_foreign_key("bad2", "supplier", &["s_nationkey"], "nation", &[]).is_err());
     }
 
     #[test]

@@ -81,7 +81,8 @@ mod tests {
             .unwrap();
         let mut db = Database::new(cat);
         assert!(db.stored_by_name("t").is_err());
-        let stored = TableBuilder::new("t").column("k", Column::from_i64(vec![1, 2])).build().unwrap();
+        let stored =
+            TableBuilder::new("t").column("k", Column::from_i64(vec![1, 2])).build().unwrap();
         db.attach(id, Arc::new(stored));
         assert_eq!(db.stored_by_name("t").unwrap().rows(), 2);
         assert_eq!(db.total_rows(), 2);

@@ -61,10 +61,7 @@ impl SchemaGraph {
     /// Tables with no outgoing foreign keys — the "leaves" of the projection
     /// DAG (typically dimension hosts).
     pub fn leaves(&self) -> Vec<TableId> {
-        (0..self.out_edges.len())
-            .filter(|&t| self.out_edges[t].is_empty())
-            .map(TableId)
-            .collect()
+        (0..self.out_edges.len()).filter(|&t| self.out_edges[t].is_empty()).map(TableId).collect()
     }
 
     /// Leaf-first topological order: every table appears after all tables it
@@ -159,8 +156,7 @@ mod tests {
             .unwrap();
         c.create_foreign_key("FK_L_O", "lineitem", &["l_orderkey"], "orders", &["o_orderkey"])
             .unwrap();
-        c.create_foreign_key("FK_L_P", "lineitem", &["l_partkey"], "part", &["p_partkey"])
-            .unwrap();
+        c.create_foreign_key("FK_L_P", "lineitem", &["l_partkey"], "part", &["p_partkey"]).unwrap();
         c
     }
 
@@ -168,8 +164,7 @@ mod tests {
     fn leaves_are_dimension_hosts() {
         let c = chain_catalog();
         let g = SchemaGraph::build(&c);
-        let mut leaves: Vec<&str> =
-            g.leaves().into_iter().map(|t| c.table_name(t)).collect();
+        let mut leaves: Vec<&str> = g.leaves().into_iter().map(|t| c.table_name(t)).collect();
         leaves.sort();
         assert_eq!(leaves, vec!["nation", "part"]);
     }
@@ -179,9 +174,7 @@ mod tests {
         let c = chain_catalog();
         let g = SchemaGraph::build(&c);
         let order = g.leaf_first_order().unwrap();
-        let pos = |name: &str| {
-            order.iter().position(|&t| c.table_name(t) == name).unwrap()
-        };
+        let pos = |name: &str| order.iter().position(|&t| c.table_name(t) == name).unwrap();
         assert!(pos("nation") < pos("customer"));
         assert!(pos("customer") < pos("orders"));
         assert!(pos("orders") < pos("lineitem"));
@@ -215,10 +208,7 @@ mod tests {
         // l→o, l→p, l→o→c, l→o→c→n
         assert_eq!(paths.len(), 4);
         let longest = paths.iter().max_by_key(|p| p.len()).unwrap();
-        assert_eq!(
-            g.path_target(li, longest).map(|t| c.table_name(t)),
-            Some("nation")
-        );
+        assert_eq!(g.path_target(li, longest).map(|t| c.table_name(t)), Some("nation"));
     }
 
     #[test]

@@ -121,10 +121,8 @@ fn push_unique(uses: &mut Vec<DesignUse>, u: DesignUse) {
 
 /// `nation_idx` → `D_NATION`; falls back to the host table name.
 fn dimension_name(hint_name: &str, table_name: &str) -> String {
-    let stem = hint_name
-        .strip_suffix("_idx")
-        .or_else(|| hint_name.strip_suffix("_index"))
-        .unwrap_or("");
+    let stem =
+        hint_name.strip_suffix("_idx").or_else(|| hint_name.strip_suffix("_index")).unwrap_or("");
     let stem = if stem.is_empty() { table_name } else { stem };
     format!("D_{}", stem.to_uppercase())
 }
@@ -164,9 +162,7 @@ pub fn create_dimensions(
             }
         }
         let values: Vec<(KeyValue, u64)> = (0..host.rows())
-            .map(|row| {
-                (KeyValue(key_columns.iter().map(|c| c.datum(row)).collect()), weights[row])
-            })
+            .map(|row| (KeyValue(key_columns.iter().map(|c| c.datum(row)).collect()), weights[row]))
             .collect();
         dims.push(create_dimension(
             spec.id,
@@ -219,20 +215,18 @@ pub fn design_and_cluster(db: &Database, cfg: &DesignConfig) -> Result<BdccSchem
         .iter()
         .map(|(&t, uses)| (t, uses.iter().map(|u| (u.dim, u.path.clone())).collect()))
         .collect();
-    let results: Vec<Result<(TableId, BdccTable)>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<(TableId, BdccTable)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = entries
             .iter()
             .map(|(t, specs)| {
                 let dims = &dimensions;
                 let selftune = cfg.selftune;
-                scope.spawn(move |_| {
-                    cluster_table(db, *t, specs, dims, &selftune).map(|bt| (*t, bt))
-                })
+                scope
+                    .spawn(move || cluster_table(db, *t, specs, dims, &selftune).map(|bt| (*t, bt)))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("cluster thread panicked")).collect()
-    })
-    .expect("crossbeam scope");
+    });
     let mut tables = BTreeMap::new();
     for r in results {
         let (t, bt) = r?;

@@ -128,9 +128,9 @@ pub fn cluster_table(
             db.catalog().table_name(table)
         )));
     }
-    let stored = db
-        .stored(table)
-        .ok_or_else(|| BdccError::Catalog(format!("no storage for {}", db.catalog().table_name(table))))?;
+    let stored = db.stored(table).ok_or_else(|| {
+        BdccError::Catalog(format!("no storage for {}", db.catalog().table_name(table)))
+    })?;
 
     // (i) Round-robin mask assignment at maximal granularity.
     let use_bits: Vec<UseBits> = use_specs
@@ -326,11 +326,8 @@ mod tests {
         let dims = vec![dim_over(&(0..8).collect::<Vec<_>>(), 0, t)];
         // Groups of 8 rows × 8 bytes = 64 bytes; demand 256-byte groups →
         // need ≥ 32 rows per group → granularity 1 (2 groups of 32).
-        let cfg = SelfTuneConfig {
-            consolidate_small_groups: false,
-            ar_bytes: 256,
-            ..Default::default()
-        };
+        let cfg =
+            SelfTuneConfig { consolidate_small_groups: false, ar_bytes: 256, ..Default::default() };
         let b = cluster_table(&db, t, &[(DimId(0), vec![])], &dims, &cfg).unwrap();
         assert_eq!(b.granularity, 1);
         assert_eq!(b.count.group_count(), 2);
@@ -366,7 +363,8 @@ mod tests {
             Dimension { key: vec!["a".into()], ..dim_over(&[0, 1, 2, 3], 0, t) },
             Dimension { key: vec!["b".into()], ..dim_over(&[0, 1, 2, 3], 1, t) },
         ];
-        let cfg = SelfTuneConfig { ar_bytes: 8, consolidate_small_groups: false, ..Default::default() };
+        let cfg =
+            SelfTuneConfig { ar_bytes: 8, consolidate_small_groups: false, ..Default::default() };
         let bt =
             cluster_table(&db, t, &[(DimId(0), vec![]), (DimId(1), vec![])], &dims, &cfg).unwrap();
         assert_eq!(bt.total_bits, 4);
@@ -378,7 +376,8 @@ mod tests {
         let av = bt.table.column_by_name("a").unwrap().as_i64().unwrap().to_vec();
         let bv = bt.table.column_by_name("b").unwrap().as_i64().unwrap().to_vec();
         for i in 0..32 {
-            let expect = scatter_bits(av[i] as u64, 2, 0b1010) | scatter_bits(bv[i] as u64, 2, 0b0101);
+            let expect =
+                scatter_bits(av[i] as u64, 2, 0b1010) | scatter_bits(bv[i] as u64, 2, 0b0101);
             assert_eq!(keys[i] as u64, expect);
         }
     }
@@ -393,7 +392,8 @@ mod tests {
     fn group_bin_prefix_extracts_major_bits() {
         let (db, t) = single_dim_db(64);
         let dims = vec![dim_over(&(0..8).collect::<Vec<_>>(), 0, t)];
-        let cfg = SelfTuneConfig { ar_bytes: 8, consolidate_small_groups: false, ..Default::default() };
+        let cfg =
+            SelfTuneConfig { ar_bytes: 8, consolidate_small_groups: false, ..Default::default() };
         let b = cluster_table(&db, t, &[(DimId(0), vec![])], &dims, &cfg).unwrap();
         // Single use: group key *is* the bin prefix.
         for g in b.count.iter() {

@@ -56,9 +56,7 @@ pub fn create_dimension(
     config: &BinningConfig,
 ) -> Result<Dimension> {
     if values.is_empty() {
-        return Err(BdccError::Invalid(format!(
-            "dimension {name} has no key values to bin"
-        )));
+        return Err(BdccError::Invalid(format!("dimension {name} has no key values to bin")));
     }
     // Sort and merge duplicates.
     values.sort_by(|a, b| a.0.full_cmp(&b.0));
@@ -90,8 +88,8 @@ fn equi_depth(distinct: &[(KeyValue, u64)], target_bins: usize) -> Vec<BinEntry>
         let is_last_value = i == distinct.len() - 1;
         // Close the current bin once the cumulative weight reaches the next
         // equi-depth quantile; the final bin always swallows the remainder.
-        let quantile_reached = (acc + in_bin as u128) * target_bins as u128
-            >= total * (bins.len() as u128 + 1);
+        let quantile_reached =
+            (acc + in_bin as u128) * target_bins as u128 >= total * (bins.len() as u128 + 1);
         let may_close = bins.len() + 1 < target_bins;
         if is_last_value || (quantile_reached && may_close) {
             bins.push(BinEntry { upper: v.clone(), weight: in_bin, unique: bin_values == 1 });

@@ -72,10 +72,7 @@ impl CountTable {
 
     /// The group with exactly this key, if present.
     pub fn find(&self, key: u64) -> Option<&GroupEntry> {
-        self.groups
-            .binary_search_by_key(&key, |g| g.key)
-            .ok()
-            .map(|i| &self.groups[i])
+        self.groups.binary_search_by_key(&key, |g| g.key).ok().map(|i| &self.groups[i])
     }
 
     /// Iterate all groups.

@@ -92,9 +92,7 @@ impl Dimension {
     /// guarantees the last bound is the max, so this only matters for
     /// values unseen at creation time).
     pub fn bin_of(&self, v: &KeyValue) -> u64 {
-        let idx = self
-            .bins
-            .partition_point(|b| b.upper.prefix_cmp(v) == Ordering::Less);
+        let idx = self.bins.partition_point(|b| b.upper.prefix_cmp(v) == Ordering::Less);
         idx.min(self.bins.len().saturating_sub(1)) as u64
     }
 
@@ -116,10 +114,9 @@ impl Dimension {
         // still covered.
         let lo = match lo_key {
             None => 0,
-            Some(k) => self
-                .bins
-                .partition_point(|b| b.upper.prefix_cmp(k) == Ordering::Less)
-                .min(last),
+            Some(k) => {
+                self.bins.partition_point(|b| b.upper.prefix_cmp(k) == Ordering::Less).min(last)
+            }
         };
         // Last bin that can contain values <= hi_key. Bins whose upper
         // bound prefix-equals the bound always qualify; the first bin
@@ -129,9 +126,7 @@ impl Dimension {
         let hi = match hi_key {
             None => last,
             Some(k) => {
-                let mut hi = self
-                    .bins
-                    .partition_point(|b| b.upper.prefix_cmp(k) == Ordering::Less);
+                let mut hi = self.bins.partition_point(|b| b.upper.prefix_cmp(k) == Ordering::Less);
                 if k.0.len() < self.key.len() {
                     // Genuine prefix bound: bins whose upper prefix-equals
                     // the bound all qualify, and the first bin strictly

@@ -129,7 +129,7 @@ mod tests {
         assert_eq!(h.groups_at(1), 2);
         assert_eq!(h.hist[1][2], 1); // size 3 ∈ [2,4)
         assert_eq!(h.hist[1][3], 1); // size 4 ∈ [4,8)
-        // g=0: one group of 7.
+                                     // g=0: one group of 7.
         assert_eq!(h.groups_at(0), 1);
         assert_eq!(h.hist[0][3], 1);
     }

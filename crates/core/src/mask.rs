@@ -23,10 +23,7 @@ pub fn ones(mask: u64) -> u32 {
 /// Render the low `width` bits of `mask` as a binary string, exactly like
 /// the dimension-use table in Section IV of the paper.
 pub fn mask_to_string(mask: u64, width: u32) -> String {
-    (0..width)
-        .rev()
-        .map(|i| if mask >> i & 1 == 1 { '1' } else { '0' })
-        .collect()
+    (0..width).rev().map(|i| if mask >> i & 1 == 1 { '1' } else { '0' }).collect()
 }
 
 /// Scatter the *major* `ones(mask)` bits of `bin` (a `bin_bits`-wide bin
@@ -218,10 +215,8 @@ mod tests {
     /// (5 bits over FK_O_C): `101010101011111111` / `010101010100000000`.
     #[test]
     fn orders_masks_match_paper() {
-        let uses = [
-            UseBits { dim_bits: 13, fk_group: None },
-            UseBits { dim_bits: 5, fk_group: Some(0) },
-        ];
+        let uses =
+            [UseBits { dim_bits: 13, fk_group: None }, UseBits { dim_bits: 5, fk_group: Some(0) }];
         let (masks, total) = assign_masks(&uses, InterleaveStrategy::RoundRobinPerUse);
         assert_eq!(total, 18);
         assert_eq!(mask_to_string(masks[0], total), "101010101011111111");
@@ -241,10 +236,8 @@ mod tests {
         let (masks, total) = assign_masks(&uses, InterleaveStrategy::RoundRobinPerUse);
         assert_eq!(total, 36);
         // Truncated to the paper's 20-bit granularity:
-        let t: Vec<String> = masks
-            .iter()
-            .map(|&m| mask_to_string(truncate_mask(m, total, 20), 20))
-            .collect();
+        let t: Vec<String> =
+            masks.iter().map(|&m| mask_to_string(truncate_mask(m, total, 20), 20)).collect();
         assert_eq!(t[0], "10001000100010001000");
         assert_eq!(t[1], "01000100010001000100");
         assert_eq!(t[2], "00100010001000100010");
@@ -289,10 +282,8 @@ mod tests {
 
     #[test]
     fn major_minor_orders_by_priority() {
-        let uses = [
-            UseBits { dim_bits: 2, fk_group: None },
-            UseBits { dim_bits: 3, fk_group: None },
-        ];
+        let uses =
+            [UseBits { dim_bits: 2, fk_group: None }, UseBits { dim_bits: 3, fk_group: None }];
         let (masks, total) = assign_masks(&uses, InterleaveStrategy::MajorMinor);
         assert_eq!(mask_to_string(masks[0], total), "11000");
         assert_eq!(mask_to_string(masks[1], total), "00111");

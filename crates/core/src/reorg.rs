@@ -74,7 +74,7 @@ mod tests {
         let (mut cols, mut count) = setup();
         let n = consolidate_small_groups(&mut cols, &mut count, 3);
         assert_eq!(n, 2); // groups with 1 and 2 rows
-        // Table grew by the 3 copied rows.
+                          // Table grew by the 3 copied rows.
         assert_eq!(cols[0].1.len(), 10);
         // Entries re-pointed at the tail, in key order, consecutively.
         let g1 = count.find(1).unwrap();

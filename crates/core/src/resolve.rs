@@ -16,9 +16,9 @@ use crate::error::{BdccError, Result};
 /// For every row of `table`, the row index in the path's target table
 /// (`table` itself for the empty path).
 pub fn resolve_host_rows(db: &Database, table: TableId, path: &[FkId]) -> Result<Vec<u32>> {
-    let stored = db
-        .stored(table)
-        .ok_or_else(|| BdccError::Catalog(format!("no storage for {}", db.catalog().table_name(table))))?;
+    let stored = db.stored(table).ok_or_else(|| {
+        BdccError::Catalog(format!("no storage for {}", db.catalog().table_name(table)))
+    })?;
     let mut mapping: Vec<u32> = (0..stored.rows() as u32).collect();
     let mut current = table;
     for &fk_id in path {
@@ -74,18 +74,14 @@ fn fk_step(
             })
             .collect()
     } else {
-        let to_cols: Vec<&[i64]> = to_columns
-            .iter()
-            .map(|c| int_column(to, c))
-            .collect::<Result<_>>()?;
+        let to_cols: Vec<&[i64]> =
+            to_columns.iter().map(|c| int_column(to, c)).collect::<Result<_>>()?;
         let mut index: HashMap<Vec<i64>, u32> = HashMap::with_capacity(to.rows());
         for row in 0..to.rows() {
             index.insert(to_cols.iter().map(|c| c[row]).collect(), row as u32);
         }
-        let from_cols: Vec<&[i64]> = from_columns
-            .iter()
-            .map(|c| int_column(from, c))
-            .collect::<Result<_>>()?;
+        let from_cols: Vec<&[i64]> =
+            from_columns.iter().map(|c| int_column(from, c)).collect::<Result<_>>()?;
         (0..from.rows())
             .map(|row| {
                 let key: Vec<i64> = from_cols.iter().map(|c| c[row]).collect();

@@ -70,10 +70,7 @@ impl Batch {
 
     /// Rough in-memory size of the batch payload in bytes.
     pub fn estimated_bytes(&self) -> u64 {
-        self.columns
-            .iter()
-            .map(|c| (c.len() as f64 * c.avg_width()) as u64)
-            .sum()
+        self.columns.iter().map(|c| (c.len() as f64 * c.avg_width()) as u64).sum()
     }
 }
 

@@ -165,8 +165,7 @@ impl Expr {
     pub fn bind(&self, schema: &[ColMeta]) -> Result<Expr> {
         Ok(match self {
             Expr::Col(name) => Expr::ColIdx(
-                schema_index(schema, name)
-                    .ok_or_else(|| ExecError::UnknownColumn(name.clone()))?,
+                schema_index(schema, name).ok_or_else(|| ExecError::UnknownColumn(name.clone()))?,
             ),
             Expr::ColIdx(i) => Expr::ColIdx(*i),
             Expr::Lit(d) => Expr::Lit(d.clone()),
@@ -274,9 +273,7 @@ impl Expr {
             Expr::Prefix(a, len) => {
                 let col = a.eval(batch)?;
                 let vals = col.as_str()?;
-                Column::from_strings(
-                    vals.iter().map(|s| s.chars().take(*len).collect()).collect(),
-                )
+                Column::from_strings(vals.iter().map(|s| s.chars().take(*len).collect()).collect())
             }
         })
     }
@@ -304,9 +301,7 @@ fn bools_to_column(b: &[bool]) -> Column {
 fn eval_arith(op: ArithOp, a: &Column, b: &Column) -> Result<Column> {
     use ArithOp::*;
     // Division and any float operand promote to float.
-    let float = op == Div
-        || a.data_type() == DataType::Float
-        || b.data_type() == DataType::Float;
+    let float = op == Div || a.data_type() == DataType::Float || b.data_type() == DataType::Float;
     if float {
         let x = to_f64(a)?;
         let y = to_f64(b)?;
@@ -399,9 +394,7 @@ fn eval_in_list(col: &Column, list: &[Datum]) -> Result<Column> {
     match col {
         Column::I64 { values, .. } => {
             let set: Vec<i64> = list.iter().filter_map(|d| d.as_int()).collect();
-            Ok(bools_to_column(
-                &values.iter().map(|v| set.contains(v)).collect::<Vec<_>>(),
-            ))
+            Ok(bools_to_column(&values.iter().map(|v| set.contains(v)).collect::<Vec<_>>()))
         }
         Column::Str(values) => {
             let set: Vec<&str> = list.iter().filter_map(|d| d.as_str()).collect();
@@ -431,7 +424,11 @@ mod tests {
         Batch::new(vec![
             Column::from_i64(vec![1, 2, 3]),
             Column::from_f64(vec![0.5, 1.5, 2.5]),
-            Column::from_strings(vec!["PROMO anodized".into(), "small BRASS".into(), "green".into()]),
+            Column::from_strings(vec![
+                "PROMO anodized".into(),
+                "small BRASS".into(),
+                "green".into(),
+            ]),
             Column::from_dates(vec![
                 parse_date("1994-01-01"),
                 parse_date("1995-06-15"),
@@ -484,11 +481,7 @@ mod tests {
 
     #[test]
     fn case_when() {
-        let e = Expr::if_else(
-            Expr::col("a").eq(Expr::lit(2)),
-            Expr::col("b"),
-            Expr::lit(0.0),
-        );
+        let e = Expr::if_else(Expr::col("a").eq(Expr::lit(2)), Expr::col("b"), Expr::lit(0.0));
         assert_eq!(eval(e).as_f64().unwrap(), &[0.0, 1.5, 0.0]);
     }
 

@@ -11,6 +11,7 @@ pub mod error;
 pub mod expr;
 pub mod memory;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod planner;
 pub mod pred;
@@ -19,6 +20,7 @@ pub mod run;
 pub mod scheme;
 
 pub use batch::{Batch, BatchAssembler, ColMeta, OpSchema, BATCH_ROWS};
+pub use bdcc_storage::Datum;
 pub use error::{ExecError, Result};
 pub use expr::{ArithOp, CmpOp, Expr, LikePattern};
 pub use memory::{MemoryGuard, MemoryTracker};
@@ -26,6 +28,7 @@ pub use ops::agg::{AggFunc, AggSpec};
 pub use ops::join::{JoinType, MATCHED_COLUMN};
 pub use ops::sort::SortKey;
 pub use ops::{collect, BoxedOp, Operator};
+pub use parallel::{ParallelConfig, DEFAULT_MORSEL_ROWS};
 pub use plan::{
     aggregate, alias_column, filter, join, join_full, project, sort, FkSide, Node, PlanBuilder,
 };
@@ -33,4 +36,3 @@ pub use planner::{plan_query, QueryContext};
 pub use pred::{ColPredicate, PredKind};
 pub use run::{canonical_rows, run_measured, run_plan, Measurement};
 pub use scheme::{bdcc_scheme, pk_scheme, plain_scheme, Scheme, SchemeDb};
-pub use bdcc_storage::Datum;

@@ -54,12 +54,27 @@ struct GroupKey {
     strs: Vec<String>,
 }
 
+/// Neumaier-compensated add: accumulates the rounding error of `sum += v`
+/// into `c`. Makes float sums accurate to ~1 ulp of the true value
+/// regardless of accumulation order, which is what lets morsel-parallel
+/// partial aggregates merge without observable drift from the serial
+/// result.
+fn compensated_add(sum: &mut f64, c: &mut f64, v: f64) {
+    let t = *sum + v;
+    if sum.abs() >= v.abs() {
+        *c += (*sum - t) + v;
+    } else {
+        *c += (v - t) + *sum;
+    }
+    *sum = t;
+}
+
 /// Running state of one aggregate for one group.
 #[derive(Debug, Clone)]
 enum AccState {
     SumI(i64),
-    SumF(f64),
-    AvgF { sum: f64, n: u64 },
+    SumF { sum: f64, c: f64 },
+    AvgF { sum: f64, c: f64, n: u64 },
     MinMax(Option<Datum>, bool /* is_min */),
     Count(u64),
     Distinct(std::collections::HashSet<i64>),
@@ -69,10 +84,10 @@ impl AccState {
     fn new(func: AggFunc, dt: DataType) -> AccState {
         match func {
             AggFunc::Sum => match dt {
-                DataType::Float => AccState::SumF(0.0),
+                DataType::Float => AccState::SumF { sum: 0.0, c: 0.0 },
                 _ => AccState::SumI(0),
             },
-            AggFunc::Avg => AccState::AvgF { sum: 0.0, n: 0 },
+            AggFunc::Avg => AccState::AvgF { sum: 0.0, c: 0.0, n: 0 },
             AggFunc::Min => AccState::MinMax(None, true),
             AggFunc::Max => AccState::MinMax(None, false),
             AggFunc::Count => AccState::Count(0),
@@ -83,14 +98,16 @@ impl AccState {
     fn update(&mut self, col: &Column, row: usize) {
         match self {
             AccState::SumI(acc) => *acc += col.as_i64().expect("int sum")[row],
-            AccState::SumF(acc) => *acc += col.as_f64().expect("float sum")[row],
-            AccState::AvgF { sum, n } => {
+            AccState::SumF { sum, c } => {
+                compensated_add(sum, c, col.as_f64().expect("float sum")[row])
+            }
+            AccState::AvgF { sum, c, n } => {
                 let v = match col {
                     Column::F64(v) => v[row],
                     Column::I64 { values, .. } => values[row] as f64,
                     Column::Str(_) => panic!("avg over strings"),
                 };
-                *sum += v;
+                compensated_add(sum, c, v);
                 *n += 1;
             }
             AccState::MinMax(cur, is_min) => {
@@ -120,13 +137,53 @@ impl AccState {
     fn finish(&self) -> Datum {
         match self {
             AccState::SumI(v) => Datum::Int(*v),
-            AccState::SumF(v) => Datum::Float(*v),
-            AccState::AvgF { sum, n } => {
-                Datum::Float(if *n == 0 { 0.0 } else { sum / *n as f64 })
+            AccState::SumF { sum, c } => Datum::Float(sum + c),
+            AccState::AvgF { sum, c, n } => {
+                Datum::Float(if *n == 0 { 0.0 } else { (sum + c) / *n as f64 })
             }
             AccState::MinMax(v, _) => v.clone().unwrap_or(Datum::Int(0)),
             AccState::Count(n) => Datum::Int(*n as i64),
             AccState::Distinct(set) => Datum::Int(set.len() as i64),
+        }
+    }
+
+    /// Fold another state of the same function into this one (the merge
+    /// contract of morsel-parallel partial aggregation). Exact for every
+    /// function except float sums, where the compensated representation
+    /// keeps the merged total within ~1 ulp of the serial result.
+    fn merge(&mut self, other: &AccState) {
+        match (self, other) {
+            (AccState::SumI(a), AccState::SumI(b)) => *a += b,
+            (AccState::SumF { sum, c }, AccState::SumF { sum: bs, c: bc }) => {
+                compensated_add(sum, c, *bs);
+                compensated_add(sum, c, *bc);
+            }
+            (AccState::AvgF { sum, c, n }, AccState::AvgF { sum: bs, c: bc, n: bn }) => {
+                compensated_add(sum, c, *bs);
+                compensated_add(sum, c, *bc);
+                *n += bn;
+            }
+            (AccState::MinMax(a, is_min), AccState::MinMax(b, _)) => {
+                if let Some(bv) = b {
+                    let better = match a {
+                        None => true,
+                        Some(av) => {
+                            let ord = bv.total_cmp(av);
+                            if *is_min {
+                                ord == std::cmp::Ordering::Less
+                            } else {
+                                ord == std::cmp::Ordering::Greater
+                            }
+                        }
+                    };
+                    if better {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AccState::Count(a), AccState::Count(b)) => *a += b,
+            (AccState::Distinct(a), AccState::Distinct(b)) => a.extend(b),
+            _ => panic!("merging mismatched aggregate states"),
         }
     }
 
@@ -208,11 +265,8 @@ impl AggCore {
     }
 
     fn consume(&mut self, batch: &Batch) -> Result<()> {
-        let agg_inputs: Vec<Column> = self
-            .agg_exprs
-            .iter()
-            .map(|e| e.eval(batch))
-            .collect::<Result<Vec<_>>>()?;
+        let agg_inputs: Vec<Column> =
+            self.agg_exprs.iter().map(|e| e.eval(batch)).collect::<Result<Vec<_>>>()?;
         for row in 0..batch.rows() {
             let mut ints = Vec::new();
             let mut strs = Vec::new();
@@ -251,7 +305,9 @@ impl AggCore {
                 .groups
                 .keys()
                 .next()
-                .map(|k| k.ints.len() as u64 * 8 + k.strs.iter().map(|s| s.len() as u64 + 8).sum::<u64>())
+                .map(|k| {
+                    k.ints.len() as u64 * 8 + k.strs.iter().map(|s| s.len() as u64 + 8).sum::<u64>()
+                })
                 .unwrap_or(8);
         let states: u64 = self
             .groups
@@ -280,26 +336,19 @@ impl AggCore {
                 DataType::Date => {
                     let i = int_i;
                     int_i += 1;
-                    cols.push(Column::from_dates(
-                        self.order.iter().map(|k| k.ints[i]).collect(),
-                    ));
+                    cols.push(Column::from_dates(self.order.iter().map(|k| k.ints[i]).collect()));
                 }
                 DataType::Float => {
                     let i = int_i;
                     int_i += 1;
                     cols.push(Column::from_f64(
-                        self.order
-                            .iter()
-                            .map(|k| f64::from_bits(k.ints[i] as u64))
-                            .collect(),
+                        self.order.iter().map(|k| f64::from_bits(k.ints[i] as u64)).collect(),
                     ));
                 }
                 _ => {
                     let i = int_i;
                     int_i += 1;
-                    cols.push(Column::from_i64(
-                        self.order.iter().map(|k| k.ints[i]).collect(),
-                    ));
+                    cols.push(Column::from_i64(self.order.iter().map(|k| k.ints[i]).collect()));
                 }
             }
         }
@@ -329,6 +378,107 @@ impl AggCore {
     #[allow(dead_code)]
     fn is_empty(&self) -> bool {
         self.groups.is_empty()
+    }
+
+    /// Fold another core (same grouping and aggregates) into this one.
+    /// Groups unseen here are appended in `other`'s order, so folding
+    /// per-morsel cores in morsel order reproduces the serial first-seen
+    /// group order exactly.
+    fn merge_from(&mut self, other: AggCore) {
+        debug_assert_eq!(self.agg_funcs, other.agg_funcs);
+        let mut other_groups = other.groups;
+        for key in other.order {
+            let states = other_groups.remove(&key).expect("ordered key present");
+            match self.groups.get_mut(&key) {
+                Some(mine) => {
+                    for (m, o) in mine.iter_mut().zip(&states) {
+                        m.merge(o);
+                    }
+                }
+                None => {
+                    self.order.push(key.clone());
+                    self.groups.insert(key, states);
+                }
+            }
+        }
+    }
+
+    /// The one-row batch a *global* aggregation (no group-by) yields over
+    /// empty input: every aggregate's zero state (COUNT() = 0, SUM() = 0).
+    fn zero_state_batch(&self) -> Batch {
+        let cols: Vec<Column> = self
+            .agg_funcs
+            .iter()
+            .zip(&self.agg_types)
+            .map(|(&f, &dt)| {
+                let out_dt = agg_output_type(f, dt);
+                let mut c = Column::empty(out_dt);
+                let d = AccState::new(f, dt).finish();
+                let d = match (out_dt, d) {
+                    (DataType::Float, Datum::Int(v)) => Datum::Float(v as f64),
+                    (DataType::Date, Datum::Int(v)) => Datum::Date(v),
+                    (DataType::Str, _) => Datum::Str(String::new()),
+                    (_, d) => d,
+                };
+                c.push(d).expect("zero state matches output type");
+                c
+            })
+            .collect();
+        Batch::new(cols)
+    }
+}
+
+/// Partial aggregation state for one morsel — the partition side of the
+/// morsel-parallel aggregation contract (the merge side lives in
+/// [`crate::parallel::merge`]). Each worker consumes its morsel's batches
+/// into a `PartialAgg`; folding the partials *in morsel order* and
+/// finishing yields exactly what a serial [`HashAggregate`] over the
+/// concatenated stream would produce.
+pub struct PartialAgg {
+    core: AggCore,
+    schema: OpSchema,
+}
+
+impl PartialAgg {
+    /// State for aggregating `aggs` grouped by `group_by` over inputs with
+    /// `input_schema`.
+    pub fn new(
+        input_schema: &[ColMeta],
+        group_by: &[&str],
+        aggs: &[AggSpec],
+    ) -> Result<PartialAgg> {
+        let (core, schema) = AggCore::new(input_schema, group_by, aggs)?;
+        Ok(PartialAgg { core, schema })
+    }
+
+    /// Output schema (group keys then aggregates).
+    pub fn schema(&self) -> &OpSchema {
+        &self.schema
+    }
+
+    /// Accumulate one batch.
+    pub fn consume(&mut self, batch: &Batch) -> Result<()> {
+        self.core.consume(batch)
+    }
+
+    /// Estimated bytes of accumulated state (memory accounting).
+    pub fn estimated_bytes(&self) -> u64 {
+        self.core.estimated_bytes()
+    }
+
+    /// Fold `other` into this partial, preserving first-seen group order.
+    pub fn merge(&mut self, other: PartialAgg) {
+        self.core.merge_from(other.core);
+    }
+
+    /// Finish into the final output batch, including the one-row zero
+    /// state a global aggregation yields over empty input.
+    pub fn finish(mut self) -> Result<Batch> {
+        let out = self.core.flush()?;
+        if out.rows() == 0 && self.core.group_cols.is_empty() {
+            return Ok(self.core.zero_state_batch());
+        }
+        Ok(out)
     }
 }
 
@@ -376,26 +526,7 @@ impl Operator for HashAggregate {
         if out.rows() == 0 && self.core.group_cols.is_empty() {
             // Global aggregation over empty input still yields one row of
             // zero states (COUNT() = 0, SUM() = 0, ...).
-            let cols: Vec<Column> = self
-                .core
-                .agg_funcs
-                .iter()
-                .zip(&self.core.agg_types)
-                .map(|(&f, &dt)| {
-                    let out_dt = agg_output_type(f, dt);
-                    let mut c = Column::empty(out_dt);
-                    let d = AccState::new(f, dt).finish();
-                    let d = match (out_dt, d) {
-                        (DataType::Float, Datum::Int(v)) => Datum::Float(v as f64),
-                        (DataType::Date, Datum::Int(v)) => Datum::Date(v),
-                        (DataType::Str, _) => Datum::Str(String::new()),
-                        (_, d) => d,
-                    };
-                    c.push(d).expect("zero state matches output type");
-                    c
-                })
-                .collect();
-            return Ok(Some(Batch::new(cols)));
+            return Ok(Some(self.core.zero_state_batch()));
         }
         Ok(Some(out))
     }
@@ -413,9 +544,20 @@ pub struct StreamingAggregate {
 }
 
 impl StreamingAggregate {
-    pub fn new(input: BoxedOp, group_by: &[&str], aggs: Vec<AggSpec>) -> Result<StreamingAggregate> {
+    pub fn new(
+        input: BoxedOp,
+        group_by: &[&str],
+        aggs: Vec<AggSpec>,
+    ) -> Result<StreamingAggregate> {
         let (core, schema) = AggCore::new(input.schema(), group_by, &aggs)?;
-        Ok(StreamingAggregate { input, core, schema, current: None, pending_out: None, done: false })
+        Ok(StreamingAggregate {
+            input,
+            core,
+            schema,
+            current: None,
+            pending_out: None,
+            done: false,
+        })
     }
 
     fn key_of(&self, batch: &Batch, row: usize) -> Result<GroupKey> {
@@ -537,10 +679,7 @@ impl SandwichAggregate {
     }
 
     fn partition_of(&self, batch: &Batch, row: usize) -> Result<Vec<i64>> {
-        self.partition_cols
-            .iter()
-            .map(|&c| Ok(batch.columns[c].as_i64()?[row]))
-            .collect()
+        self.partition_cols.iter().map(|&c| Ok(batch.columns[c].as_i64()?[row])).collect()
     }
 }
 
@@ -623,9 +762,7 @@ mod tests {
             let mut start = 0;
             while start < n {
                 let end = (start + chunk).min(n);
-                batches.push(Batch::new(
-                    cols.iter().map(|(_, c)| c.slice(start, end)).collect(),
-                ));
+                batches.push(Batch::new(cols.iter().map(|(_, c)| c.slice(start, end)).collect()));
                 start = end;
             }
             Source { schema, batches: batches.into_iter() }
@@ -796,9 +933,6 @@ mod tests {
         };
         let sandwich_peak = mk(MemoryTracker::new(), true);
         let hash_peak = mk(MemoryTracker::new(), false);
-        assert!(
-            sandwich_peak * 10 < hash_peak,
-            "sandwich {sandwich_peak} vs hash {hash_peak}"
-        );
+        assert!(sandwich_peak * 10 < hash_peak, "sandwich {sandwich_peak} vs hash {hash_peak}");
     }
 }

@@ -34,6 +34,13 @@ pub struct GroupSpec {
     pub group_keys: Vec<i64>,
 }
 
+impl GroupSpec {
+    /// Rows this group covers — the weight the morsel scheduler balances.
+    pub fn rows(&self) -> usize {
+        self.count
+    }
+}
+
 /// Scatter-scan over a clustered table.
 pub struct BdccScan {
     table: Arc<StoredTable>,
@@ -120,6 +127,16 @@ impl BdccScan {
     /// Number of group-key columns this scan appends.
     pub fn group_key_count(&self) -> usize {
         self.schema.len() - self.projection.len()
+    }
+
+    /// Partition entry point for the morsel scheduler: the selected groups
+    /// in output order. A scatter-scan over any contiguous index range of
+    /// these groups (constructed via [`BdccScan::new`] with the sliced
+    /// list) yields exactly the corresponding sub-stream of this scan, so
+    /// ordered concatenation over a partition of the ranges reproduces the
+    /// full scan batch-for-batch.
+    pub fn groups(&self) -> &[GroupSpec] {
+        &self.groups
     }
 }
 
@@ -223,10 +240,7 @@ mod tests {
         Arc::new(
             StoredTable::from_columns_with_block_rows(
                 "t_bdcc",
-                vec![
-                    ("k".into(), Column::from_i64(k)),
-                    ("v".into(), Column::from_i64(v)),
-                ],
+                vec![("k".into(), Column::from_i64(k)), ("v".into(), Column::from_i64(v))],
                 4,
             )
             .unwrap(),
@@ -242,15 +256,8 @@ mod tests {
     #[test]
     fn scan_selected_groups_in_given_order() {
         let io = IoTracker::new();
-        let scan = BdccScan::new(
-            table(),
-            io,
-            &["v"],
-            vec![],
-            &["__gk0".into()],
-            groups(&[2, 0]),
-        )
-        .unwrap();
+        let scan =
+            BdccScan::new(table(), io, &["v"], vec![], &["__gk0".into()], groups(&[2, 0])).unwrap();
         let out = collect(Box::new(scan)).unwrap();
         // Group 2 rows first, then group 0 (scatter order).
         assert_eq!(out.columns[0].as_i64().unwrap(), &[8, 9, 10, 11, 0, 1, 2, 3]);
@@ -260,15 +267,9 @@ mod tests {
     #[test]
     fn batches_never_cross_groups() {
         let io = IoTracker::new();
-        let mut scan = BdccScan::new(
-            table(),
-            io,
-            &["v"],
-            vec![],
-            &["__gk0".into()],
-            groups(&[0, 1, 2, 3]),
-        )
-        .unwrap();
+        let mut scan =
+            BdccScan::new(table(), io, &["v"], vec![], &["__gk0".into()], groups(&[0, 1, 2, 3]))
+                .unwrap();
         let mut batches = 0;
         while let Some(b) = scan.next().unwrap() {
             batches += 1;
@@ -315,15 +316,8 @@ mod tests {
     fn multiple_group_keys() {
         let io = IoTracker::new();
         let g = vec![GroupSpec { start: 0, count: 4, group_keys: vec![7, 9] }];
-        let scan = BdccScan::new(
-            table(),
-            io,
-            &["v"],
-            vec![],
-            &["__gk0".into(), "__gk1".into()],
-            g,
-        )
-        .unwrap();
+        let scan = BdccScan::new(table(), io, &["v"], vec![], &["__gk0".into(), "__gk1".into()], g)
+            .unwrap();
         let out = collect(Box::new(scan)).unwrap();
         assert_eq!(out.arity(), 3);
         assert_eq!(out.columns[1].as_i64().unwrap(), &[7, 7, 7, 7]);

@@ -133,10 +133,8 @@ impl HashJoin {
                 index.entry(key).or_default().push(row as u32);
             }
             // Hash-table memory: materialized payload + per-entry overhead.
-            let payload: u64 = columns
-                .iter()
-                .map(|c| (c.len() as f64 * c.avg_width()) as u64)
-                .sum();
+            let payload: u64 =
+                columns.iter().map(|c| (c.len() as f64 * c.avg_width()) as u64).sum();
             let overhead = rows as u64 * (8 * self.right_keys.len() as u64 + 24);
             let mem = self.tracker.register(payload + overhead);
             self.build = Some(BuildSide { columns, index, _mem: mem });
@@ -247,8 +245,7 @@ fn join_batch(
             for &l in &lidx {
                 matched[l] = true;
             }
-            let unmatched: Vec<usize> =
-                (0..rows).filter(|&r| !matched[r]).collect();
+            let unmatched: Vec<usize> = (0..rows).filter(|&r| !matched[r]).collect();
             // Matched pairs with flag 1.
             let mut cols = inner.columns;
             let matched_rows = cols.first().map(|c| c.len()).unwrap_or(0);

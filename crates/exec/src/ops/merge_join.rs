@@ -187,8 +187,7 @@ impl Operator for MergeJoin {
                     ridx.push(r);
                 }
             }
-            let mut cols: Vec<Column> =
-                b.columns.iter().map(|c| c.gather(&lidx)).collect();
+            let mut cols: Vec<Column> = b.columns.iter().map(|c| c.gather(&lidx)).collect();
             for rc in &rgroup.columns {
                 cols.push(rc.gather(&ridx));
             }

@@ -33,11 +33,7 @@ pub type BoxedOp = Box<dyn Operator>;
 /// Drain an operator into a single materialized batch (tests/harness).
 pub fn collect(mut op: BoxedOp) -> Result<Batch> {
     use bdcc_storage::Column;
-    let mut cols: Vec<Column> = op
-        .schema()
-        .iter()
-        .map(|m| Column::empty(m.data_type))
-        .collect();
+    let mut cols: Vec<Column> = op.schema().iter().map(|m| Column::empty(m.data_type)).collect();
     while let Some(batch) = op.next()? {
         for (dst, src) in cols.iter_mut().zip(&batch.columns) {
             dst.append(src)?;

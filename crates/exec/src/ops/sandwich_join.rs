@@ -40,10 +40,7 @@ impl GroupReader {
     }
 
     fn key_of(&self, batch: &Batch, row: usize) -> Result<Vec<i64>> {
-        self.key_cols
-            .iter()
-            .map(|&c| Ok(batch.columns[c].as_i64()?[row]))
-            .collect()
+        self.key_cols.iter().map(|&c| Ok(batch.columns[c].as_i64()?[row])).collect()
     }
 
     /// Next group: its key and all its rows.
@@ -275,10 +272,7 @@ fn join_groups(
         .map(|&k| right.columns[k].as_i64())
         .collect::<std::result::Result<_, _>>()?;
     for row in 0..rrows {
-        index
-            .entry(rkey_cols.iter().map(|c| c[row]).collect())
-            .or_default()
-            .push(row as u32);
+        index.entry(rkey_cols.iter().map(|c| c[row]).collect()).or_default().push(row as u32);
     }
     let lkey_cols: Vec<&[i64]> = left_keys
         .iter()
@@ -431,7 +425,11 @@ mod tests {
         assert_eq!(out.rows(), 100);
 
         // Compare with a full hash join of the same data.
-        let left = Source::grouped(("lk", "lc", "g"), (0..100).map(|i| (1000 + i, i, i / 10)).collect(), 7);
+        let left = Source::grouped(
+            ("lk", "lc", "g"),
+            (0..100).map(|i| (1000 + i, i, i / 10)).collect(),
+            7,
+        );
         let right = Source::grouped(("rc", "rv", "g"), rows_r, 7);
         let t_hash = MemoryTracker::new();
         let j = crate::ops::join::HashJoin::new(

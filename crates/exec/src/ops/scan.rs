@@ -34,6 +34,8 @@ pub struct PlainScan {
     residual: Option<Expr>,
     schema: OpSchema,
     next_block: usize,
+    /// One past the last block to read (block-range partition view).
+    end_block: usize,
 }
 
 impl PlainScan {
@@ -45,6 +47,21 @@ impl PlainScan {
         io: IoTracker,
         columns: &[&str],
         predicates: Vec<ColPredicate>,
+    ) -> Result<PlainScan> {
+        let end = table.block_count();
+        PlainScan::with_block_range(table, io, columns, predicates, 0..end)
+    }
+
+    /// Partition entry point for the morsel scheduler: a scan restricted to
+    /// statistics blocks `[blocks.start, blocks.end)`. Reading a table as
+    /// the ordered concatenation of disjoint block ranges yields exactly
+    /// the batch stream of a full scan.
+    pub fn with_block_range(
+        table: Arc<StoredTable>,
+        io: IoTracker,
+        columns: &[&str],
+        predicates: Vec<ColPredicate>,
+        blocks: std::ops::Range<usize>,
     ) -> Result<PlainScan> {
         // The physical read set = projection ∪ predicate columns; output
         // only the projection. To keep the operator simple we read (and
@@ -66,14 +83,14 @@ impl PlainScan {
         for (idx, p) in &preds {
             if !eval_schema.iter().any(|m| m.name == p.column) {
                 extra_cols.push(*idx);
-                eval_schema
-                    .push(ColMeta::new(&p.column, table.schema().columns[*idx].data_type));
+                eval_schema.push(ColMeta::new(&p.column, table.schema().columns[*idx].data_type));
             }
         }
         let residual = match predicates_to_expr(&predicates) {
             Some(e) => Some(e.bind(&eval_schema)?),
             None => None,
         };
+        let end_block = blocks.end.min(table.block_count());
         Ok(PlainScan {
             table,
             io,
@@ -82,7 +99,8 @@ impl PlainScan {
             extra_cols,
             residual,
             schema,
-            next_block: 0,
+            next_block: blocks.start.min(end_block),
+            end_block,
         })
     }
 
@@ -118,8 +136,7 @@ impl Operator for PlainScan {
             return Ok(None);
         }
         let stats0 = self.table.block_stats(0)?;
-        let nblocks = stats0.len();
-        while self.next_block < nblocks {
+        while self.next_block < self.end_block {
             let b = self.next_block;
             self.next_block += 1;
             // MinMax pruning over all predicate columns.
@@ -166,11 +183,7 @@ impl Operator for PlainScan {
 }
 
 /// Convenience: scan the whole table with no predicates.
-pub fn full_scan(
-    table: Arc<StoredTable>,
-    io: IoTracker,
-    columns: &[&str],
-) -> Result<PlainScan> {
+pub fn full_scan(table: Arc<StoredTable>, io: IoTracker, columns: &[&str]) -> Result<PlainScan> {
     PlainScan::new(table, io, columns, Vec::new())
 }
 
@@ -187,10 +200,7 @@ mod tests {
         Arc::new(
             StoredTable::from_columns_with_block_rows(
                 "t",
-                vec![
-                    ("k".into(), Column::from_i64(k)),
-                    ("v".into(), Column::from_i64(v)),
-                ],
+                vec![("k".into(), Column::from_i64(k)), ("v".into(), Column::from_i64(v))],
                 4,
             )
             .unwrap(),
@@ -214,13 +224,9 @@ mod tests {
 
         let io_pruned = IoTracker::new();
         // k >= 8 → only the last block qualifies.
-        let scan = PlainScan::new(
-            table(),
-            io_pruned.clone(),
-            &["k"],
-            vec![ColPredicate::ge("k", 8i64)],
-        )
-        .unwrap();
+        let scan =
+            PlainScan::new(table(), io_pruned.clone(), &["k"], vec![ColPredicate::ge("k", 8i64)])
+                .unwrap();
         let out = collect(Box::new(scan)).unwrap();
         assert_eq!(out.columns[0].as_i64().unwrap(), &[8, 9, 10, 11]);
         assert!(io_pruned.stats().bytes_read < io_full.stats().bytes_read);
@@ -239,8 +245,7 @@ mod tests {
     #[test]
     fn predicate_on_unprojected_column() {
         let io = IoTracker::new();
-        let scan =
-            PlainScan::new(table(), io, &["v"], vec![ColPredicate::eq("k", 7i64)]).unwrap();
+        let scan = PlainScan::new(table(), io, &["v"], vec![ColPredicate::eq("k", 7i64)]).unwrap();
         let out = collect(Box::new(scan)).unwrap();
         assert_eq!(out.columns[0].as_i64().unwrap(), &[70]);
         assert_eq!(out.arity(), 1);
@@ -300,11 +305,32 @@ mod tests {
     }
 
     #[test]
+    fn block_range_partitions_tile_the_scan() {
+        let io = IoTracker::new();
+        let full = collect(Box::new(full_scan(table(), io.clone(), &["k"]).unwrap())).unwrap();
+        // Split into [0,1) ++ [1,3): concatenation equals the full scan.
+        let a = collect(Box::new(
+            PlainScan::with_block_range(table(), io.clone(), &["k"], vec![], 0..1).unwrap(),
+        ))
+        .unwrap();
+        let b = collect(Box::new(
+            PlainScan::with_block_range(table(), io.clone(), &["k"], vec![], 1..3).unwrap(),
+        ))
+        .unwrap();
+        let mut joined = a.columns[0].as_i64().unwrap().to_vec();
+        joined.extend_from_slice(b.columns[0].as_i64().unwrap());
+        assert_eq!(joined, full.columns[0].as_i64().unwrap());
+        // Out-of-range partitions are empty, not errors.
+        let e = collect(Box::new(
+            PlainScan::with_block_range(table(), io, &["k"], vec![], 7..9).unwrap(),
+        ))
+        .unwrap();
+        assert_eq!(e.rows(), 0);
+    }
+
+    #[test]
     fn table_builder_smoke() {
-        let t = TableBuilder::new("x")
-            .column("a", Column::from_i64(vec![1]))
-            .build()
-            .unwrap();
+        let t = TableBuilder::new("x").column("a", Column::from_i64(vec![1])).build().unwrap();
         assert_eq!(t.rows(), 1);
     }
 }

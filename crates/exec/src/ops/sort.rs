@@ -50,7 +50,15 @@ impl Sort {
                 .ok_or_else(|| ExecError::UnknownColumn(k.column.clone()))?;
             resolved.push((idx, k.ascending));
         }
-        Ok(Sort { input: Some(input), keys: resolved, limit, schema, tracker, output: None, done: false })
+        Ok(Sort {
+            input: Some(input),
+            keys: resolved,
+            limit,
+            schema,
+            tracker,
+            output: None,
+            done: false,
+        })
     }
 }
 
@@ -78,8 +86,7 @@ impl Operator for Sort {
             let mut perm: Vec<usize> = (0..n).collect();
             // Extract sort key datums once (avoid per-comparison cloning of
             // column access machinery).
-            let key_cols: Vec<&Column> =
-                self.keys.iter().map(|&(i, _)| &all.columns[i]).collect();
+            let key_cols: Vec<&Column> = self.keys.iter().map(|&(i, _)| &all.columns[i]).collect();
             perm.sort_by(|&a, &b| {
                 for (k, &(_, asc)) in self.keys.iter().enumerate() {
                     let ord = cmp_at(key_cols[k], a, b);
@@ -142,9 +149,7 @@ impl Operator for Limit {
                 } else {
                     let take = self.remaining;
                     self.remaining = 0;
-                    Ok(Some(Batch::new(
-                        b.columns.iter().map(|c| c.slice(0, take)).collect(),
-                    )))
+                    Ok(Some(Batch::new(b.columns.iter().map(|c| c.slice(0, take)).collect())))
                 }
             }
         }
@@ -202,13 +207,8 @@ mod tests {
         let out = collect(Box::new(s)).unwrap();
         assert_eq!(out.columns[0].as_i64().unwrap(), &[1, 2, 3]);
 
-        let s = Sort::new(
-            Box::new(Source::ints(vec![3, 1, 2], 2)),
-            &[SortKey::desc("v")],
-            None,
-            t,
-        )
-        .unwrap();
+        let s = Sort::new(Box::new(Source::ints(vec![3, 1, 2], 2)), &[SortKey::desc("v")], None, t)
+            .unwrap();
         let out = collect(Box::new(s)).unwrap();
         assert_eq!(out.columns[0].as_i64().unwrap(), &[3, 2, 1]);
     }
@@ -236,23 +236,15 @@ mod tests {
 
     #[test]
     fn multi_key_sort() {
-        let schema = vec![
-            ColMeta::new("a", DataType::Int),
-            ColMeta::new("b", DataType::Str),
-        ];
+        let schema = vec![ColMeta::new("a", DataType::Int), ColMeta::new("b", DataType::Str)];
         let batch = Batch::new(vec![
             Column::from_i64(vec![1, 2, 1]),
             Column::from_strings(vec!["x".into(), "y".into(), "a".into()]),
         ]);
         let src = Source { schema, batches: vec![batch].into_iter() };
         let t = MemoryTracker::new();
-        let s = Sort::new(
-            Box::new(src),
-            &[SortKey::asc("a"), SortKey::desc("b")],
-            None,
-            t,
-        )
-        .unwrap();
+        let s =
+            Sort::new(Box::new(src), &[SortKey::asc("a"), SortKey::desc("b")], None, t).unwrap();
         let out = collect(Box::new(s)).unwrap();
         assert_eq!(out.columns[0].as_i64().unwrap(), &[1, 1, 2]);
         assert_eq!(

@@ -60,8 +60,7 @@ impl Project {
 
     /// Keep a subset of input columns by name (common case).
     pub fn columns(input: BoxedOp, names: &[&str]) -> Result<Project> {
-        let exprs =
-            names.iter().map(|&n| (Expr::col(n), n.to_string())).collect();
+        let exprs = names.iter().map(|&n| (Expr::col(n), n.to_string())).collect();
         Project::new(input, exprs)
     }
 }
@@ -74,11 +73,8 @@ impl Operator for Project {
     fn next(&mut self) -> Result<Option<Batch>> {
         match self.input.next()? {
             Some(batch) => {
-                let columns = self
-                    .exprs
-                    .iter()
-                    .map(|e| e.eval(&batch))
-                    .collect::<Result<Vec<_>>>()?;
+                let columns =
+                    self.exprs.iter().map(|e| e.eval(&batch)).collect::<Result<Vec<_>>>()?;
                 Ok(Some(Batch::new(columns)))
             }
             None => Ok(None),
@@ -99,8 +95,7 @@ mod tests {
 
     impl Source {
         fn new(cols: Vec<(&str, Column)>) -> Source {
-            let schema =
-                cols.iter().map(|(n, c)| ColMeta::new(*n, c.data_type())).collect();
+            let schema = cols.iter().map(|(n, c)| ColMeta::new(*n, c.data_type())).collect();
             let batch = Batch::new(cols.into_iter().map(|(_, c)| c).collect());
             Source { schema, batches: vec![batch] }
         }
@@ -141,10 +136,8 @@ mod tests {
 
     #[test]
     fn project_columns_subset() {
-        let src = Source::new(vec![
-            ("a", Column::from_i64(vec![1])),
-            ("b", Column::from_i64(vec![2])),
-        ]);
+        let src =
+            Source::new(vec![("a", Column::from_i64(vec![1])), ("b", Column::from_i64(vec![2]))]);
         let p = Project::columns(Box::new(src), &["b"]).unwrap();
         let out = collect(Box::new(p)).unwrap();
         assert_eq!(out.arity(), 1);

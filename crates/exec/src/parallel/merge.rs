@@ -1,0 +1,110 @@
+//! Merging per-morsel partial results back into one stream.
+//!
+//! Three merge contracts, all **order-deterministic**: given the same
+//! morsel list, the merged output is identical whatever order workers
+//! finished in, because every merge folds partials in *morsel order*.
+//!
+//! * [`concat_ordered`] — leaf streams: morsel batch lists concatenated in
+//!   morsel order reproduce the serial scan's batch stream exactly (the
+//!   alignment guarantee of [`crate::parallel::morsel`]).
+//! * [`merge_partial_aggs`] — hash-aggregation: per-morsel
+//!   [`PartialAgg`] states folded left-to-right; group *first-seen order*
+//!   and every integer aggregate match serial execution exactly, and
+//!   compensated float sums keep Sum/Avg within ~1 ulp of it.
+//! * [`merge_sorted`] — sort-merge: k per-morsel streams, each sorted by
+//!   the same comparator, merged stably with ties broken by morsel index —
+//!   the contract a parallel sort needs to reproduce a serial stable sort
+//!   of the concatenated input.
+
+use crate::batch::Batch;
+use crate::error::Result;
+use crate::ops::agg::PartialAgg;
+
+/// Concatenate per-morsel batch lists in morsel order.
+pub fn concat_ordered(per_morsel: Vec<Vec<Batch>>) -> Vec<Batch> {
+    per_morsel.into_iter().flatten().collect()
+}
+
+/// Fold per-morsel partial aggregation states (in morsel order) and finish
+/// into the final output batch. An empty partial list is an error — a
+/// zero-morsel fan-out must contribute one fresh (empty) partial so the
+/// global-aggregation zero row can be produced (see
+/// [`ParallelAggregate`](crate::parallel::ParallelAggregate)).
+pub fn merge_partial_aggs(mut partials: Vec<PartialAgg>) -> Result<Batch> {
+    if partials.is_empty() {
+        return Err(crate::error::ExecError::Internal(
+            "merge_partial_aggs needs at least one partial state".into(),
+        ));
+    }
+    let mut acc = partials.remove(0);
+    for p in partials {
+        acc.merge(p);
+    }
+    acc.finish()
+}
+
+/// Stable k-way merge of row streams that are already sorted by `cmp`
+/// (ties keep lower-stream-index rows first). Returns `(stream, row)`
+/// coordinates in output order.
+pub fn merge_sorted<C>(streams: &[Batch], cmp: C) -> Vec<(usize, usize)>
+where
+    C: Fn(&Batch, usize, &Batch, usize) -> std::cmp::Ordering,
+{
+    let mut cursors: Vec<usize> = vec![0; streams.len()];
+    let total: usize = streams.iter().map(|b| b.rows()).sum();
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (s, b) in streams.iter().enumerate() {
+            if cursors[s] >= b.rows() {
+                continue;
+            }
+            best = match best {
+                None => Some(s),
+                Some(bi) => {
+                    // Strictly-less wins; ties keep the earlier stream.
+                    if cmp(b, cursors[s], &streams[bi], cursors[bi]) == std::cmp::Ordering::Less {
+                        Some(s)
+                    } else {
+                        Some(bi)
+                    }
+                }
+            };
+        }
+        let s = best.expect("total counted");
+        out.push((s, cursors[s]));
+        cursors[s] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdcc_storage::Column;
+
+    fn batch(vals: &[i64]) -> Batch {
+        Batch::new(vec![Column::from_i64(vals.to_vec())])
+    }
+
+    #[test]
+    fn concat_preserves_morsel_order() {
+        let merged =
+            concat_ordered(vec![vec![batch(&[1]), batch(&[2])], vec![], vec![batch(&[3])]]);
+        let vals: Vec<i64> =
+            merged.iter().flat_map(|b| b.columns[0].as_i64().unwrap().to_vec()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn kway_merge_is_stable() {
+        let a = batch(&[1, 3, 3, 9]);
+        let b = batch(&[2, 3, 8]);
+        let c = batch(&[]);
+        let order = merge_sorted(&[a, b, c], |x, i, y, j| {
+            x.columns[0].as_i64().unwrap()[i].cmp(&y.columns[0].as_i64().unwrap()[j])
+        });
+        // Equal keys (the 3s) come stream-0 first, then stream-1.
+        assert_eq!(order, vec![(0, 0), (1, 0), (0, 1), (0, 2), (1, 1), (1, 2), (0, 3)]);
+    }
+}

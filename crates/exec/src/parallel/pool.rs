@@ -1,0 +1,189 @@
+//! The work-stealing worker pool.
+//!
+//! Plain `std::thread::scope` threads — no external dependencies. Tasks
+//! are indices `0..ntasks`; each worker owns a deque seeded round-robin,
+//! pops work from the *front* of its own deque, and when empty steals from
+//! the *back* of a victim's deque (the classic Chase–Lev discipline,
+//! implemented with mutexed deques, which is plenty at morsel granularity:
+//! a morsel is thousands of rows, so queue operations are a rounding
+//! error next to task bodies).
+//!
+//! Results are returned **in task order**, whatever order workers finished
+//! in — the property every merge in this subsystem relies on for
+//! determinism. The first task error stops workers from claiming further
+//! jobs and is propagated after the scope joins; a panicking task
+//! propagates the panic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::error::{ExecError, Result};
+
+/// Run `task(0..ntasks)` on up to `threads` workers, returning the results
+/// in task order.
+pub fn run_tasks<T, F>(threads: usize, ntasks: usize, task: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let threads = threads.min(ntasks).max(1);
+    if threads == 1 {
+        return (0..ntasks).map(&task).collect();
+    }
+    // Seed the deques round-robin so neighbouring (usually similarly
+    // sized) morsels spread across workers.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for t in 0..ntasks {
+        queues[t % threads].lock().expect("queue poisoned").push_back(t);
+    }
+    let slots: Vec<Mutex<Option<Result<T>>>> = (0..ntasks).map(|_| Mutex::new(None)).collect();
+    // Short-circuit flag: once any task errs, workers stop claiming jobs
+    // instead of finishing a fan-out whose query is already doomed.
+    let failed = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let queues = &queues;
+            let slots = &slots;
+            let task = &task;
+            let failed = &failed;
+            scope.spawn(move || loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Own work first, front-to-back.
+                let mut job = queues[w].lock().expect("queue poisoned").pop_front();
+                if job.is_none() {
+                    // Steal from the back of the first victim with work.
+                    for v in (0..queues.len()).filter(|&v| v != w) {
+                        job = queues[v].lock().expect("queue poisoned").pop_back();
+                        if job.is_some() {
+                            break;
+                        }
+                    }
+                }
+                match job {
+                    Some(j) => {
+                        let r = task(j);
+                        if r.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        *slots[j].lock().expect("slot poisoned") = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    let mut results: Vec<Option<Result<T>>> =
+        slots.into_iter().map(|s| s.into_inner().expect("slot poisoned")).collect();
+    // Propagate the first *actual* error in task order; unexecuted slots
+    // (skipped after the short-circuit) are not themselves the failure.
+    if let Some(pos) = results.iter().position(|r| matches!(r, Some(Err(_)))) {
+        match results.swap_remove(pos) {
+            Some(Err(e)) => return Err(e),
+            _ => unreachable!("position matched an error"),
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| match r {
+            Some(Ok(v)) => Ok(v),
+            Some(Err(_)) => unreachable!("first error already propagated"),
+            None => Err(ExecError::Internal("worker pool dropped a task".into())),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_task_order() {
+        let out = run_tasks(4, 17, |i| Ok(i * i)).unwrap();
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_tasks(8, 100, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Ok(i)
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let out: Vec<usize> = run_tasks(4, 0, Ok).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = run_tasks(1, 5, |i| Ok(i + 1)).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r: Result<Vec<usize>> =
+            run_tasks(
+                3,
+                10,
+                |i| {
+                    if i == 7 {
+                        Err(ExecError::Internal("boom".into()))
+                    } else {
+                        Ok(i)
+                    }
+                },
+            );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn error_short_circuits_remaining_tasks() {
+        // Task 0 fails instantly; the rest sleep. Workers must stop
+        // claiming jobs once the failure is flagged, so far fewer than all
+        // tasks execute (the flag is racy by a task or two, not by dozens).
+        let executed = AtomicUsize::new(0);
+        let r: Result<Vec<usize>> = run_tasks(2, 64, |i| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                Err(ExecError::Internal("boom".into()))
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Ok(i)
+            }
+        });
+        assert!(matches!(r, Err(ExecError::Internal(ref m)) if m == "boom"));
+        assert!(
+            executed.load(Ordering::Relaxed) < 32,
+            "short-circuit did not stop the fan-out: {} tasks ran",
+            executed.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn uneven_task_durations_balance() {
+        // Long tasks at the front of one queue; stealing must keep every
+        // task accounted for.
+        let out = run_tasks(4, 32, |i| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Ok(i)
+        })
+        .unwrap();
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+}

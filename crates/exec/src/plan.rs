@@ -78,9 +78,7 @@ impl Node {
     /// Visit every scan: `(scan_id, table name, alias)`.
     pub fn visit_scans(&self, f: &mut impl FnMut(usize, &str, Option<&str>)) {
         match self {
-            Node::Scan { scan_id, table, alias, .. } => {
-                f(*scan_id, table, alias.as_deref())
-            }
+            Node::Scan { scan_id, table, alias, .. } => f(*scan_id, table, alias.as_deref()),
             Node::Filter { input, .. }
             | Node::Project { input, .. }
             | Node::Aggregate { input, .. }
@@ -127,13 +125,9 @@ impl PlanBuilder {
         predicates: Vec<ColPredicate>,
     ) -> Node {
         match self.scan(table, columns, predicates) {
-            Node::Scan { scan_id, table, columns, predicates, .. } => Node::Scan {
-                scan_id,
-                table,
-                columns,
-                predicates,
-                alias: Some(alias.to_string()),
-            },
+            Node::Scan { scan_id, table, columns, predicates, .. } => {
+                Node::Scan { scan_id, table, columns, predicates, alias: Some(alias.to_string()) }
+            }
             _ => unreachable!(),
         }
     }

@@ -30,14 +30,17 @@ use crate::error::{ExecError, Result};
 use crate::expr::Expr;
 use crate::memory::MemoryTracker;
 use crate::ops::agg::{HashAggregate, SandwichAggregate, StreamingAggregate};
-use crate::ops::bdcc_scan::{BdccScan, GroupSpec};
+use crate::ops::bdcc_scan::GroupSpec;
 use crate::ops::join::{HashJoin, JoinType};
 use crate::ops::merge_join::MergeJoin;
 use crate::ops::sandwich_join::SandwichHashJoin;
-use crate::ops::scan::PlainScan;
 use crate::ops::sort::{Limit, Sort};
 use crate::ops::transform::{Filter, Project};
 use crate::ops::BoxedOp;
+use crate::parallel::{
+    FragmentBlueprint, FragmentStep, ParallelAggregate, ParallelConfig, ParallelScan,
+    ScanBlueprint, ScanKind,
+};
 use crate::plan::{alias_column, FkSide, Node};
 use crate::restrict::{compute_restrictions, Restrictions};
 use crate::scheme::{Scheme, SchemeDb};
@@ -48,11 +51,25 @@ pub struct QueryContext {
     pub sdb: Arc<SchemeDb>,
     pub tracker: Arc<MemoryTracker>,
     pub io: IoTracker,
+    /// When set (and `threads > 1`), the planner swaps eligible leaf scans
+    /// for morsel-parallel scans and eligible aggregations for partial
+    /// aggregation with ordered merge. `None` plans exactly as before.
+    pub parallel: Option<ParallelConfig>,
 }
 
 impl QueryContext {
     pub fn new(sdb: Arc<SchemeDb>) -> QueryContext {
-        QueryContext { sdb, tracker: MemoryTracker::new(), io: IoTracker::new() }
+        QueryContext { sdb, tracker: MemoryTracker::new(), io: IoTracker::new(), parallel: None }
+    }
+
+    /// A context that executes with morsel-driven parallelism.
+    pub fn with_parallel(sdb: Arc<SchemeDb>, parallel: ParallelConfig) -> QueryContext {
+        QueryContext {
+            sdb,
+            tracker: MemoryTracker::new(),
+            io: IoTracker::new(),
+            parallel: Some(parallel),
+        }
     }
 }
 
@@ -202,8 +219,7 @@ impl<'a> Planner<'a> {
     fn sets_match(&self, src: &InstSet, dst: &InstSet, f: &ForeignKey, node: &Node) -> bool {
         let tables = self.scan_tables(node);
         for sa in &src.aliases {
-            let Some(&st) = tables.iter().find(|(id, _)| *id == sa.scan_id).map(|(_, t)| t)
-            else {
+            let Some(&st) = tables.iter().find(|(id, _)| *id == sa.scan_id).map(|(_, t)| t) else {
                 continue;
             };
             if st != f.from_table {
@@ -282,11 +298,9 @@ impl<'a> Planner<'a> {
                 JoinType::Inner | JoinType::Semi | JoinType::Anti => self.col_order(left),
                 JoinType::LeftOuter => Vec::new(),
             },
-            Node::Sort { keys, .. } => keys
-                .iter()
-                .take_while(|k| k.ascending)
-                .map(|k| k.column.clone())
-                .collect(),
+            Node::Sort { keys, .. } => {
+                keys.iter().take_while(|k| k.ascending).map(|k| k.column.clone()).collect()
+            }
             Node::Aggregate { .. } | Node::Limit { .. } => Vec::new(),
         }
     }
@@ -338,15 +352,17 @@ impl<'a> Planner<'a> {
         }
     }
 
-    fn build_scan(
+    /// Everything needed to build (and, under parallel execution, re-build
+    /// per morsel) the physical scan: the access path, the pre-selected
+    /// groups for BDCC, and the requested group-key columns.
+    fn scan_blueprint(
         &self,
         scan_id: usize,
         table: &str,
         columns: &[String],
         predicates: &[crate::pred::ColPredicate],
-        alias: Option<&str>,
         requested: &[InstSet],
-    ) -> Result<PhysOut> {
+    ) -> Result<(ScanBlueprint, usize)> {
         let tid = self.catalog().table_id(table)?;
         let stored = self
             .ctx
@@ -355,9 +371,7 @@ impl<'a> Planner<'a> {
             .stored(tid)
             .ok_or_else(|| ExecError::Plan(format!("no storage for {table}")))?
             .clone();
-        let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
-        let (op, gk_cols): (BoxedOp, Vec<usize>) = match (self.ctx.sdb.scheme, self.clustered(tid))
-        {
+        let kind = match (self.ctx.sdb.scheme, self.clustered(tid)) {
             (Scheme::Bdcc, Some(bt)) => {
                 // Group selection: every restricted use must admit the
                 // group's bin prefix.
@@ -380,8 +394,7 @@ impl<'a> Planner<'a> {
                         // bin interval [prefix<<shift, (prefix+1)<<shift).
                         let lo = prefix << shift;
                         let hi = (prefix << shift) + ((1u64 << shift) - 1);
-                        let overlaps =
-                            ranges.iter().any(|&(rlo, rhi)| rlo <= hi && lo <= rhi);
+                        let overlaps = ranges.iter().any(|&(rlo, rhi)| rlo <= hi && lo <= rhi);
                         if !overlaps {
                             continue 'groups;
                         }
@@ -415,16 +428,7 @@ impl<'a> Planner<'a> {
                     // Scatter order: requested keys major-to-minor.
                     specs.sort_by(|a, b| a.group_keys.cmp(&b.group_keys));
                 }
-                let scan = BdccScan::new(
-                    Arc::clone(&stored),
-                    self.ctx.io.clone(),
-                    &col_refs,
-                    predicates.to_vec(),
-                    &names,
-                    specs,
-                )?;
-                let base = columns.len();
-                (Box::new(scan), (0..requested.len()).map(|i| base + i).collect())
+                ScanKind::Bdcc { group_key_names: names, groups: specs }
             }
             _ => {
                 if !requested.is_empty() {
@@ -432,14 +436,45 @@ impl<'a> Planner<'a> {
                         "grouping requested from unclustered table {table}"
                     )));
                 }
-                let scan = PlainScan::new(
-                    Arc::clone(&stored),
-                    self.ctx.io.clone(),
-                    &col_refs,
-                    predicates.to_vec(),
-                )?;
-                (Box::new(scan), vec![])
+                ScanKind::Plain
             }
+        };
+        Ok((
+            ScanBlueprint {
+                table: stored,
+                columns: columns.to_vec(),
+                predicates: predicates.to_vec(),
+                kind,
+            },
+            requested.len(),
+        ))
+    }
+
+    /// Build the leaf scan operator — serial, or a [`ParallelScan`] when a
+    /// parallel config is installed and the leaf is big enough to split.
+    fn build_scan(
+        &self,
+        scan_id: usize,
+        table: &str,
+        columns: &[String],
+        predicates: &[crate::pred::ColPredicate],
+        alias: Option<&str>,
+        requested: &[InstSet],
+    ) -> Result<PhysOut> {
+        let (blueprint, gk_count) =
+            self.scan_blueprint(scan_id, table, columns, predicates, requested)?;
+        let base = columns.len();
+        let gk_cols: Vec<usize> = (0..gk_count).map(|i| base + i).collect();
+        let op: BoxedOp = match &self.ctx.parallel {
+            Some(cfg) if cfg.worth_splitting(blueprint.total_rows()) => {
+                Box::new(ParallelScan::new(
+                    blueprint,
+                    self.ctx.io.clone(),
+                    cfg.clone(),
+                    Arc::clone(&self.ctx.tracker),
+                )?)
+            }
+            _ => blueprint.build(&self.ctx.io, None)?,
         };
         // Alias: rename base columns, keep group keys.
         match alias {
@@ -506,9 +541,7 @@ impl<'a> Planner<'a> {
                         s.alias_for(&left_ids).is_some() && s.alias_for(&right_ids).is_some()
                     };
                     let all_requested_two_sided = requested.iter().all(|r| {
-                        shared.iter().any(|s| {
-                            r.aliases.iter().any(|a| s.aliases.contains(a))
-                        })
+                        shared.iter().any(|s| r.aliases.iter().any(|a| s.aliases.contains(a)))
                     });
                     if !shared.is_empty() && all_requested_two_sided {
                         // Sandwich keys: requested first (resolved to the
@@ -525,9 +558,9 @@ impl<'a> Planner<'a> {
                             });
                         }
                         for s in &shared {
-                            let already = keys.iter().any(|k| {
-                                s.aliases.iter().any(|a| k.aliases.contains(a))
-                            });
+                            let already = keys
+                                .iter()
+                                .any(|k| s.aliases.iter().any(|a| k.aliases.contains(a)));
                             if !already && two_sided(s) {
                                 keys.push(s.clone());
                             }
@@ -606,13 +639,20 @@ impl<'a> Planner<'a> {
     ) -> Result<PhysOut> {
         let gb_refs: Vec<&str> = group_by.iter().map(|s| s.as_str()).collect();
 
+        // Strategy precedence: the two *memory-bounded* serial strategies —
+        // sandwich (group-at-a-time, BDCC) and streaming (ordered input) —
+        // win over morsel-parallel partial aggregation, which holds every
+        // group across its per-worker hash states: for fine-grained
+        // group-bys (Q18's GROUP BY l_orderkey) partials give ~no
+        // reduction, so trading bounded memory for parallelism there is a
+        // regression. Leaf scans below sandwich/streaming still
+        // parallelize via [`ParallelScan`].
+
         // BDCC: sandwich aggregation on determined instances.
         if self.ctx.sdb.scheme == Scheme::Bdcc && !group_by.is_empty() {
             let av = self.avail(input);
-            let determined: Vec<InstSet> = av
-                .into_iter()
-                .filter(|s| self.determined_by(s, input, group_by))
-                .collect();
+            let determined: Vec<InstSet> =
+                av.into_iter().filter(|s| self.determined_by(s, input, group_by)).collect();
             if !determined.is_empty() {
                 let child = self.build(input, &determined)?;
                 let op = SandwichAggregate::new(
@@ -638,10 +678,78 @@ impl<'a> Planner<'a> {
             }
         }
 
+        // Parallel: when the input is a single-scan fragment (scan →
+        // filter/project chain), aggregate it morsel-parallel with partial
+        // states merged in morsel order — identical results to the hash
+        // aggregate it replaces, and the fragment is where the rows (and
+        // the time) are.
+        if let Some(cfg) = self.ctx.parallel.clone() {
+            if let Some(fragment) = self.leaf_fragment(input)? {
+                if cfg.worth_splitting(fragment.scan.total_rows()) {
+                    let op = ParallelAggregate::new(
+                        fragment,
+                        &gb_refs,
+                        aggs.to_vec(),
+                        self.ctx.io.clone(),
+                        cfg,
+                        Arc::clone(&self.ctx.tracker),
+                    )?;
+                    return Ok(PhysOut { op: Box::new(op), gk_cols: vec![] });
+                }
+            }
+        }
+
         let child = self.build(input, &[])?;
         let op =
             HashAggregate::new(child.op, &gb_refs, aggs.to_vec(), Arc::clone(&self.ctx.tracker))?;
         Ok(PhysOut { op: Box::new(op), gk_cols: vec![] })
+    }
+
+    /// When `node` is a filter/project chain over a single scan, lower it
+    /// into a [`FragmentBlueprint`] workers can replay per morsel (no
+    /// requested instances — the parallel aggregate needs no grouping from
+    /// the scan). Returns `None` for any other shape.
+    fn leaf_fragment(&self, node: &Node) -> Result<Option<FragmentBlueprint>> {
+        // Walk down to the scan, remembering the wrappers top-down.
+        let mut wrappers: Vec<&Node> = Vec::new();
+        let mut cur = node;
+        let (scan_id, table, columns, predicates, alias) = loop {
+            match cur {
+                Node::Scan { scan_id, table, columns, predicates, alias } => {
+                    break (*scan_id, table, columns, predicates, alias)
+                }
+                Node::Filter { input, .. } | Node::Project { input, .. } => {
+                    wrappers.push(cur);
+                    cur = input;
+                }
+                _ => return Ok(None),
+            }
+        };
+        let (blueprint, gk_count) =
+            self.scan_blueprint(scan_id, table, columns, predicates, &[])?;
+        debug_assert_eq!(gk_count, 0);
+        let mut steps = Vec::new();
+        // The alias projection the serial path applies directly above the
+        // scan.
+        if let Some(a) = alias {
+            let exprs: Vec<(Expr, String)> = columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (Expr::ColIdx(i), alias_column(a, c)))
+                .collect();
+            steps.push(FragmentStep::Project(exprs));
+        }
+        // Then the wrappers, innermost first.
+        for w in wrappers.iter().rev() {
+            match w {
+                Node::Filter { predicate, .. } => {
+                    steps.push(FragmentStep::Filter(predicate.clone()))
+                }
+                Node::Project { exprs, .. } => steps.push(FragmentStep::Project(exprs.clone())),
+                _ => unreachable!("only filter/project wrappers collected"),
+            }
+        }
+        Ok(Some(FragmentBlueprint { scan: blueprint, steps }))
     }
 
     /// Do the group-by keys functionally determine instance `set` in

@@ -22,12 +22,7 @@ pub enum PredKind {
     /// `col = v`
     Eq(Datum),
     /// `lo ≤/< col ≤/< hi` (either bound optional).
-    Range {
-        lo: Option<Datum>,
-        lo_inclusive: bool,
-        hi: Option<Datum>,
-        hi_inclusive: bool,
-    },
+    Range { lo: Option<Datum>, lo_inclusive: bool, hi: Option<Datum>, hi_inclusive: bool },
     /// `col IN (...)`.
     In(Vec<Datum>),
     /// `col LIKE pattern` (block skipping only for `StartsWith`).
@@ -93,7 +88,11 @@ impl ColPredicate {
     }
 
     /// `lo <= col < hi` (TPC-H's ubiquitous date window).
-    pub fn range(column: &str, lo: impl Into<Datum>, hi_exclusive: impl Into<Datum>) -> ColPredicate {
+    pub fn range(
+        column: &str,
+        lo: impl Into<Datum>,
+        hi_exclusive: impl Into<Datum>,
+    ) -> ColPredicate {
         ColPredicate {
             column: column.to_string(),
             kind: PredKind::Range {
@@ -233,12 +232,13 @@ mod tests {
 
     #[test]
     fn starts_with_prunes_string_blocks() {
-        let stats = BlockStats {
-            min: Datum::Str("m".into()),
-            max: Datum::Str("z".into()),
-        };
-        assert!(!ColPredicate::like("s", LikePattern::StartsWith("a".into())).block_may_match(&stats));
-        assert!(ColPredicate::like("s", LikePattern::StartsWith("p".into())).block_may_match(&stats));
+        let stats = BlockStats { min: Datum::Str("m".into()), max: Datum::Str("z".into()) };
+        assert!(
+            !ColPredicate::like("s", LikePattern::StartsWith("a".into())).block_may_match(&stats)
+        );
+        assert!(
+            ColPredicate::like("s", LikePattern::StartsWith("p".into())).block_may_match(&stats)
+        );
         // Contains cannot prune.
         assert!(ColPredicate::like("s", LikePattern::Contains("a".into())).block_may_match(&stats));
     }
@@ -265,8 +265,11 @@ mod tests {
 
     #[test]
     fn combined_residual() {
-        let preds =
-            vec![ColPredicate::ge("a", 1i64), ColPredicate::lt("a", 5i64), ColPredicate::ne("a", 3i64)];
+        let preds = vec![
+            ColPredicate::ge("a", 1i64),
+            ColPredicate::lt("a", 5i64),
+            ColPredicate::ne("a", 3i64),
+        ];
         let e = predicates_to_expr(&preds).unwrap();
         use crate::batch::{Batch, ColMeta};
         use bdcc_storage::DataType;

@@ -136,11 +136,7 @@ fn allowed_bins(
     edges: &[JoinEdge],
     sdb: &SchemeDb,
 ) -> Result<Option<Vec<(u64, u64)>>> {
-    let host = sdb
-        .db
-        .stored(host_scan.table)
-        .expect("host storage attached")
-        .clone();
+    let host = sdb.db.stored(host_scan.table).expect("host storage attached").clone();
     // Does anything restrict the host at all?
     let has_own_preds = !host_scan.predicates.is_empty();
     let has_semi = edges.iter().any(|e| e.referencing_scans.contains(&host_scan.scan_id));
@@ -162,9 +158,7 @@ fn allowed_bins(
             .iter()
             .enumerate()
             .filter(|&(_, &m)| m)
-            .map(|(row, _)| {
-                dim.bin_of(&KeyValue(key_cols.iter().map(|c| c.datum(row)).collect()))
-            })
+            .map(|(row, _)| dim.bin_of(&KeyValue(key_cols.iter().map(|c| c.datum(row)).collect())))
             .collect();
         bins.sort_unstable();
         bins.dedup();
@@ -232,8 +226,7 @@ fn qualifying_rows(
     }
     // Own predicates, evaluated over the whole table at once.
     if let Some(expr) = predicates_to_expr(&scan.predicates) {
-        let names: Vec<String> =
-            scan.predicates.iter().map(|p| p.column.clone()).collect();
+        let names: Vec<String> = scan.predicates.iter().map(|p| p.column.clone()).collect();
         let mut metas: Vec<ColMeta> = Vec::new();
         let mut cols = Vec::new();
         for n in &names {
@@ -268,8 +261,7 @@ fn qualifying_rows(
             if ref_stored.rows() > ROW_EVAL_LIMIT {
                 continue;
             }
-            let ref_mask =
-                qualifying_rows(ref_scan, ref_stored, scans, edges, sdb, depth + 1)?;
+            let ref_mask = qualifying_rows(ref_scan, ref_stored, scans, edges, sdb, depth + 1)?;
             if ref_mask.iter().all(|&m| m) {
                 continue;
             }
@@ -343,13 +335,7 @@ fn collect(
             collect(left, sdb, scans, edges)?;
             collect(right, sdb, scans, edges)?;
             if let Some((name, side)) = fk {
-                let fk_id = sdb
-                    .db
-                    .catalog()
-                    .fks()
-                    .iter()
-                    .find(|f| &f.name == name)
-                    .map(|f| f.id);
+                let fk_id = sdb.db.catalog().fks().iter().find(|f| &f.name == name).map(|f| f.id);
                 if let Some(fk_id) = fk_id {
                     let (l, r) = (left.scan_ids(), right.scan_ids());
                     let (referencing, referenced) = match side {

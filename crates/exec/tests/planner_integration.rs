@@ -10,8 +10,8 @@ use bdcc_core::DesignConfig;
 use bdcc_exec::run::{canonical_rows, run_measured};
 use bdcc_exec::{
     aggregate, bdcc_scheme, filter, join, join_full, pk_scheme, plain_scheme, sort, AggFunc,
-    AggSpec, ColPredicate, Datum, Expr, FkSide, JoinType, Node, PlanBuilder, QueryContext,
-    Scheme, SchemeDb, SortKey,
+    AggSpec, ColPredicate, Datum, Expr, FkSide, JoinType, Node, PlanBuilder, QueryContext, Scheme,
+    SchemeDb, SortKey,
 };
 use bdcc_storage::{Column, DataType, StoredTable, TableBuilder};
 
@@ -114,23 +114,15 @@ fn schemes() -> (Arc<SchemeDb>, Arc<SchemeDb>, Arc<SchemeDb>) {
 /// A star query: orders of zone-0 customers in the first quarter.
 fn star_query() -> Node {
     let b = PlanBuilder::new();
-    let region =
-        b.scan("region", &["r_key"], vec![ColPredicate::eq("r_zone", 0i64)]);
+    let region = b.scan("region", &["r_key"], vec![ColPredicate::eq("r_zone", 0i64)]);
     let nation = b.scan("nation", &["n_key", "n_region"], vec![]);
     let customer = b.scan("customer", &["c_key", "c_nation"], vec![]);
-    let orders = b.scan(
-        "orders",
-        &["o_key", "o_cust", "o_amount"],
-        vec![ColPredicate::lt("o_day", 90i64)],
-    );
+    let orders =
+        b.scan("orders", &["o_key", "o_cust", "o_amount"], vec![ColPredicate::lt("o_day", 90i64)]);
     let nr = join(nation, region, &[("n_region", "r_key")], Some(("FK_N_R", FkSide::Left)));
     let cn = join(customer, nr, &[("c_nation", "n_key")], Some(("FK_C_N", FkSide::Left)));
     let oc = join(orders, cn, &[("o_cust", "c_key")], Some(("FK_O_C", FkSide::Left)));
-    aggregate(
-        oc,
-        &["n_region"],
-        vec![AggSpec::new(AggFunc::Sum, Expr::col("o_amount"), "total")],
-    )
+    aggregate(oc, &["n_region"], vec![AggSpec::new(AggFunc::Sum, Expr::col("o_amount"), "total")])
 }
 
 #[test]
@@ -206,11 +198,8 @@ fn streaming_aggregate_on_pk_order() {
     let (_, pk, _) = schemes();
     let b = PlanBuilder::new();
     let orders = b.scan("orders", &["o_key", "o_amount"], vec![]);
-    let plan = aggregate(
-        orders,
-        &["o_key"],
-        vec![AggSpec::new(AggFunc::Sum, Expr::col("o_amount"), "s")],
-    );
+    let plan =
+        aggregate(orders, &["o_key"], vec![AggSpec::new(AggFunc::Sum, Expr::col("o_amount"), "s")]);
     let ctx = QueryContext::new(Arc::clone(&pk));
     let (out, m) = run_measured(&ctx, &plan).unwrap();
     assert_eq!(out.rows(), 8192);
@@ -223,8 +212,7 @@ fn semi_and_anti_joins_agree_across_schemes() {
     let mk = |jt: JoinType| {
         let b = PlanBuilder::new();
         let customer = b.scan("customer", &["c_key"], vec![]);
-        let orders =
-            b.scan("orders", &["o_cust"], vec![ColPredicate::ge("o_amount", 990i64)]);
+        let orders = b.scan("orders", &["o_cust"], vec![ColPredicate::ge("o_amount", 990i64)]);
         let j = join_full(
             customer,
             orders,
@@ -264,11 +252,7 @@ fn filters_and_residuals_preserve_grouping() {
         );
         let customer = b.scan("customer", &["c_key", "c_nation"], vec![]);
         let j = join(orders, customer, &[("o_cust", "c_key")], Some(("FK_O_C", FkSide::Left)));
-        aggregate(
-            j,
-            &["c_nation"],
-            vec![AggSpec::new(AggFunc::Sum, Expr::col("o_amount"), "s")],
-        )
+        aggregate(j, &["c_nation"], vec![AggSpec::new(AggFunc::Sum, Expr::col("o_amount"), "s")])
     };
     let pctx = QueryContext::new(Arc::clone(&plain));
     let (pout, _) = run_measured(&pctx, &mk()).unwrap();
@@ -287,11 +271,8 @@ fn propagation_requires_join_edges() {
         let b = PlanBuilder::new();
         // Region scanned but joined to nothing relevant — degenerate but
         // legal: cross-check via a join on constant keys.
-        let orders = b.scan(
-            "orders",
-            &["o_key", "o_amount"],
-            vec![ColPredicate::lt("o_day", 10i64)],
-        );
+        let orders =
+            b.scan("orders", &["o_key", "o_amount"], vec![ColPredicate::lt("o_day", 10i64)]);
         aggregate(orders, &[], vec![AggSpec::new(AggFunc::Sum, Expr::col("o_amount"), "s")])
     };
     for sdb in [&plain, &bdcc] {

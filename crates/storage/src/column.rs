@@ -135,23 +135,14 @@ impl Column {
         debug_assert_eq!(keep.len(), self.len());
         match self {
             Column::I64 { values, logical } => Column::I64 {
-                values: values
-                    .iter()
-                    .zip(keep)
-                    .filter_map(|(v, &k)| k.then_some(*v))
-                    .collect(),
+                values: values.iter().zip(keep).filter_map(|(v, &k)| k.then_some(*v)).collect(),
                 logical: *logical,
             },
-            Column::F64(values) => Column::F64(
-                values.iter().zip(keep).filter_map(|(v, &k)| k.then_some(*v)).collect(),
-            ),
+            Column::F64(values) => {
+                Column::F64(values.iter().zip(keep).filter_map(|(v, &k)| k.then_some(*v)).collect())
+            }
             Column::Str(values) => Column::Str(
-                values
-                    .iter()
-                    .zip(keep)
-                    .filter(|&(_, &k)| k)
-                    .map(|(v, _)| v.clone())
-                    .collect(),
+                values.iter().zip(keep).filter(|&(_, &k)| k).map(|(v, _)| v.clone()).collect(),
             ),
         }
     }
@@ -286,10 +277,7 @@ mod tests {
     fn gather_and_filter() {
         let c = Column::from_i64(vec![10, 20, 30, 40]);
         assert_eq!(c.gather(&[3, 0, 0]), Column::from_i64(vec![40, 10, 10]));
-        assert_eq!(
-            c.filter(&[true, false, true, false]),
-            Column::from_i64(vec![10, 30])
-        );
+        assert_eq!(c.filter(&[true, false, true, false]), Column::from_i64(vec![10, 30]));
     }
 
     #[test]

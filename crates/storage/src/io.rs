@@ -19,8 +19,8 @@
 //! 32 KB pages the paper's SF100 groups were tuned to (at SF100 the two
 //! coincide, since Algorithm 1 sizes groups to at least `AR`).
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Logical page size in bytes (the paper's evaluation uses 32 KB pages);
 /// used to derive page counts from byte counts for reporting.
@@ -148,15 +148,35 @@ impl ColumnState {
     }
 }
 
+/// Aggregate counters, kept in atomics so concurrent scan workers update
+/// them lock-free and [`IoTracker::stats`] never contends with readers.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    bytes_read: AtomicU64,
+    random_seeks: AtomicU64,
+    sequential_accesses: AtomicU64,
+}
+
 #[derive(Debug, Default)]
 struct TrackerInner {
-    stats: IoStats,
     columns: Vec<(u64, ColumnState)>,
 }
 
-/// Shared, thread-safe I/O accounting for one query execution.
+/// Shared, thread-safe I/O accounting for one query execution. Cloning is
+/// cheap and clones share state — parallel scan workers all record into
+/// the same tracker. The per-column interval sets (which deduplicate
+/// re-reads) live under a mutex; the aggregate counters are atomics.
+///
+/// Caveat under parallel execution: `bytes_read` stays exact (the
+/// interval sets charge every byte once regardless of arrival order), but
+/// the sequential/random *classification* uses one cursor per column, so
+/// workers interleaving disjoint ranges of the same column can turn what
+/// a serial scan would count as sequential continuations into seeks —
+/// `random_seeks` is then timing-dependent and overstated. Cost-model
+/// comparisons (Figure 2's estimates) should be taken from serial runs.
 #[derive(Debug, Clone, Default)]
 pub struct IoTracker {
+    stats: Arc<AtomicStats>,
     inner: Arc<Mutex<TrackerInner>>,
 }
 
@@ -171,7 +191,7 @@ impl IoTracker {
     /// Returns the access classification.
     pub fn record_span(&self, column_key: u64, first_byte: u64, last_byte: u64) -> AccessKind {
         debug_assert!(first_byte <= last_byte);
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("io tracker poisoned");
         let idx = match inner.columns.iter().position(|(k, _)| *k == column_key) {
             Some(i) => i,
             None => {
@@ -195,24 +215,34 @@ impl IoTracker {
         };
         state.cursor = last_byte;
         state.touched = true;
-        inner.stats.bytes_read += added;
+        drop(inner);
+        self.stats.bytes_read.fetch_add(added, Ordering::Relaxed);
         match kind {
-            AccessKind::Sequential => inner.stats.sequential_accesses += 1,
-            AccessKind::Random => inner.stats.random_seeks += 1,
-        }
+            AccessKind::Sequential => {
+                self.stats.sequential_accesses.fetch_add(1, Ordering::Relaxed)
+            }
+            AccessKind::Random => self.stats.random_seeks.fetch_add(1, Ordering::Relaxed),
+        };
         kind
     }
 
     /// Snapshot of the counters so far.
     pub fn stats(&self) -> IoStats {
-        self.inner.lock().stats
+        IoStats {
+            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
+            random_seeks: self.stats.random_seeks.load(Ordering::Relaxed),
+            sequential_accesses: self.stats.sequential_accesses.load(Ordering::Relaxed),
+        }
     }
 
     /// Reset all counters and interval sets (between queries).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
-        inner.stats = IoStats::default();
+        let mut inner = self.inner.lock().expect("io tracker poisoned");
         inner.columns.clear();
+        drop(inner);
+        self.stats.bytes_read.store(0, Ordering::Relaxed);
+        self.stats.random_seeks.store(0, Ordering::Relaxed);
+        self.stats.sequential_accesses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -286,8 +316,7 @@ mod tests {
 
     #[test]
     fn pages_and_estimates() {
-        let mut stats =
-            IoStats { bytes_read: PAGE_SIZE as u64 + 1, ..IoStats::default() };
+        let mut stats = IoStats { bytes_read: PAGE_SIZE as u64 + 1, ..IoStats::default() };
         assert_eq!(stats.pages_read(), 2);
         stats.random_seeks = 10;
         let d = DeviceProfile::ssd_raid();

@@ -129,10 +129,9 @@ impl StoredTable {
 
     /// Column by index.
     pub fn column(&self, index: usize) -> Result<&Arc<Column>> {
-        self.columns.get(index).ok_or(StorageError::ColumnIndexOutOfRange {
-            index,
-            arity: self.columns.len(),
-        })
+        self.columns
+            .get(index)
+            .ok_or(StorageError::ColumnIndexOutOfRange { index, arity: self.columns.len() })
     }
 
     /// Column by name.
@@ -152,10 +151,9 @@ impl StoredTable {
 
     /// MinMax statistics of a column by index.
     pub fn block_stats(&self, index: usize) -> Result<&ColumnBlockStats> {
-        self.stats.get(index).ok_or(StorageError::ColumnIndexOutOfRange {
-            index,
-            arity: self.stats.len(),
-        })
+        self.stats
+            .get(index)
+            .ok_or(StorageError::ColumnIndexOutOfRange { index, arity: self.stats.len() })
     }
 
     /// One full row as datums (diagnostics and tests; never a hot path).
@@ -175,16 +173,32 @@ impl StoredTable {
     /// Average width of the *densest* (widest stored) column, in bytes —
     /// the quantity Algorithm 1 sizes groups against.
     pub fn densest_column_width(&self) -> f64 {
-        self.schema
-            .columns
-            .iter()
-            .map(|c| c.avg_width)
-            .fold(0.0, f64::max)
+        self.schema.columns.iter().map(|c| c.avg_width).fold(0.0, f64::max)
     }
 
     /// Total logical pages across all columns.
     pub fn total_pages(&self) -> u64 {
         (0..self.arity()).map(|i| self.column_pages(i).unwrap_or(0)).sum()
+    }
+
+    /// Number of MinMax statistics blocks (uniform across columns) — the
+    /// unit the morsel scheduler partitions plain scans by.
+    pub fn block_count(&self) -> usize {
+        self.stats.first().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Rows per statistics block.
+    pub fn block_rows(&self) -> usize {
+        self.stats.first().map(|s| s.block_rows).unwrap_or(DEFAULT_BLOCK_ROWS)
+    }
+
+    /// Row span `[start, end)` covered by blocks `[lo, hi)` — a block-range
+    /// view for parallel scan workers. Clamped to the table.
+    pub fn block_range_rows(&self, lo: usize, hi: usize) -> (usize, usize) {
+        let br = self.block_rows();
+        let start = (lo * br).min(self.rows);
+        let end = (hi * br).min(self.rows);
+        (start, end)
     }
 
     /// A stable key identifying column `index` of this table for I/O
@@ -294,10 +308,7 @@ mod tests {
     fn io_keys_differ_per_column_and_table() {
         let t = sample();
         assert_ne!(t.io_key(0), t.io_key(1));
-        let t2 = TableBuilder::new("other")
-            .column("k", Column::from_i64(vec![1]))
-            .build()
-            .unwrap();
+        let t2 = TableBuilder::new("other").column("k", Column::from_i64(vec![1])).build().unwrap();
         assert_ne!(t.io_key(0), t2.io_key(0));
     }
 
@@ -308,11 +319,24 @@ mod tests {
     }
 
     #[test]
+    fn block_range_views() {
+        let t = StoredTable::from_columns_with_block_rows(
+            "t",
+            vec![("k".into(), Column::from_i64((0..10).collect()))],
+            4,
+        )
+        .unwrap();
+        assert_eq!(t.block_count(), 3);
+        assert_eq!(t.block_rows(), 4);
+        assert_eq!(t.block_range_rows(0, 1), (0, 4));
+        assert_eq!(t.block_range_rows(2, 3), (8, 10)); // partial last block
+        assert_eq!(t.block_range_rows(0, 3), (0, 10));
+        assert_eq!(t.block_range_rows(3, 9), (10, 10)); // past the end
+    }
+
+    #[test]
     fn zero_row_table_allowed() {
-        let t = TableBuilder::new("empty")
-            .column("k", Column::from_i64(vec![]))
-            .build()
-            .unwrap();
+        let t = TableBuilder::new("empty").column("k", Column::from_i64(vec![])).build().unwrap();
         assert_eq!(t.rows(), 0);
         assert_eq!(t.block_stats(0).unwrap().len(), 0);
     }

@@ -150,7 +150,13 @@ pub fn tpch_catalog() -> Catalog {
     .expect("lineitem");
 
     // The usual TPC-H foreign keys, named in the paper's FK_X_Y style.
-    type FkDecl = (&'static str, &'static str, &'static [&'static str], &'static str, &'static [&'static str]);
+    type FkDecl = (
+        &'static str,
+        &'static str,
+        &'static [&'static str],
+        &'static str,
+        &'static [&'static str],
+    );
     let fks: [FkDecl; 9] = [
         ("FK_N_R", "nation", &["n_regionkey"], "region", &["r_regionkey"]),
         ("FK_S_N", "supplier", &["s_nationkey"], "nation", &["n_nationkey"]),

@@ -187,7 +187,7 @@ fn gen_customer(cfg: &GenConfig, rng: &mut StdRng) -> (StoredTable, Vec<f64>) {
         nation.push_i64(nk);
         phone.push_str(text::phone(rng, nk));
         acctbal.push_f64((rng.random_range(-99_999..=999_999) as f64) / 100.0);
-        segment.push_str(text::SEGMENTS[rng.random_range(0..5)].to_string());
+        segment.push_str(text::SEGMENTS[rng.random_range(0..5usize)].to_string());
         comment.push_str(text::comment(rng, 6, 16));
     }
     let t = StoredTable::from_columns(
@@ -360,9 +360,9 @@ fn gen_orders_lineitem(
             let eprice = qty * retail_prices[p as usize];
             let disc = rng.random_range(0..=10) as f64 / 100.0;
             let tax = rng.random_range(0..=8) as f64 / 100.0;
-            let ship = odate + rng.random_range(1..=121);
-            let commit = odate + rng.random_range(30..=90);
-            let receipt = ship + rng.random_range(1..=30);
+            let ship = odate + rng.random_range(1..=121i64);
+            let commit = odate + rng.random_range(30..=90i64);
+            let receipt = ship + rng.random_range(1..=30i64);
             let status = if ship > cutoff { "O" } else { "F" };
             let rflag = if receipt <= cutoff {
                 if rng.random_bool(0.5) {
@@ -389,16 +389,25 @@ fn gen_orders_lineitem(
             l_ship.push_i64(ship);
             l_commit.push_i64(commit);
             l_receipt.push_i64(receipt);
-            l_instruct.push_str(text::SHIP_INSTRUCTIONS[rng.random_range(0..4)].to_string());
-            l_mode.push_str(text::SHIP_MODES[rng.random_range(0..7)].to_string());
+            l_instruct.push_str(text::SHIP_INSTRUCTIONS[rng.random_range(0..4usize)].to_string());
+            l_mode.push_str(text::SHIP_MODES[rng.random_range(0..7usize)].to_string());
             l_comment.push_str(text::comment(rng, 2, 6));
         }
         o_key.push_i64(ok);
         o_cust.push_i64(ck);
-        o_status.push_str(if all_f { "F" } else if all_o { "O" } else { "P" }.to_string());
+        o_status.push_str(
+            if all_f {
+                "F"
+            } else if all_o {
+                "O"
+            } else {
+                "P"
+            }
+            .to_string(),
+        );
         o_total.push_f64(total);
         o_date.push_i64(odate);
-        o_prio.push_str(text::PRIORITIES[rng.random_range(0..5)].to_string());
+        o_prio.push_str(text::PRIORITIES[rng.random_range(0..5usize)].to_string());
         o_clerk.push_str(format!("Clerk#{:09}", rng.random_range(1..=clerks)));
         o_shipprio.push_i64(0);
         o_comment.push_str(text::comment(rng, 6, 18));
@@ -495,13 +504,7 @@ mod tests {
                 .iter()
                 .copied()
                 .collect();
-            for v in db
-                .stored_by_name(from)
-                .unwrap()
-                .column_by_name(col)
-                .unwrap()
-                .as_i64()
-                .unwrap()
+            for v in db.stored_by_name(from).unwrap().column_by_name(col).unwrap().as_i64().unwrap()
             {
                 assert!(keys.contains(v), "{from}.{col}={v} missing in {to}.{tocol}");
             }

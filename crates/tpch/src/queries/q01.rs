@@ -1,8 +1,9 @@
 //! Q1 — pricing summary report: a 95–97% scan of LINEITEM with a wide
 //! aggregation. The paper notes no indexing method accelerates it.
 
-use bdcc_exec::{aggregate, sort, AggFunc, AggSpec, Batch, ColPredicate, Expr, PlanBuilder,
-    Result, SortKey};
+use bdcc_exec::{
+    aggregate, sort, AggFunc, AggSpec, Batch, ColPredicate, Expr, PlanBuilder, Result, SortKey,
+};
 
 use super::{date, QueryCtx};
 
@@ -10,14 +11,7 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
     let b = PlanBuilder::new();
     let scan = b.scan(
         "lineitem",
-        &[
-            "l_returnflag",
-            "l_linestatus",
-            "l_quantity",
-            "l_extendedprice",
-            "l_discount",
-            "l_tax",
-        ],
+        &["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice", "l_discount", "l_tax"],
         vec![ColPredicate::le("l_shipdate", date("1998-09-02"))],
     );
     let disc_price = Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount")));
@@ -36,10 +30,6 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
             AggSpec::new(AggFunc::Count, Expr::lit(1), "count_order"),
         ],
     );
-    let plan = sort(
-        agg,
-        vec![SortKey::asc("l_returnflag"), SortKey::asc("l_linestatus")],
-        None,
-    );
+    let plan = sort(agg, vec![SortKey::asc("l_returnflag"), SortKey::asc("l_linestatus")], None);
     ctx.run(&plan)
 }

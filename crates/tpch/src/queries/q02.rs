@@ -2,8 +2,10 @@
 //! an aggregate-then-rejoin on `ps_partkey` with an equality filter on the
 //! supply cost.
 
-use bdcc_exec::{aggregate, filter, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum,
-    Expr, FkSide, LikePattern, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, filter, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr, FkSide,
+    LikePattern, PlanBuilder, Result, SortKey,
+};
 
 use super::QueryCtx;
 
@@ -20,8 +22,15 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
             join(nation, region, &[("n_regionkey", "r_regionkey")], Some(("FK_N_R", FkSide::Left)));
         let supplier = b.scan(
             "supplier",
-            &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal",
-              "s_comment"],
+            &[
+                "s_suppkey",
+                "s_name",
+                "s_address",
+                "s_nationkey",
+                "s_phone",
+                "s_acctbal",
+                "s_comment",
+            ],
             vec![],
         );
         join(supplier, nr, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)))

@@ -3,8 +3,10 @@
 //! restriction from ORDERS to LINEITEM; the joins sandwich on the shared
 //! D_DATE / customer-D_NATION instances.
 
-use bdcc_exec::{aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, FkSide,
-    PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, FkSide, PlanBuilder,
+    Result, SortKey,
+};
 
 use super::{date, revenue_expr, QueryCtx};
 

@@ -1,8 +1,10 @@
 //! Q4 — order priority checking: EXISTS lowered to a semi join from ORDERS
 //! to late LINEITEMs.
 
-use bdcc_exec::{aggregate, filter, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate,
-    Expr, FkSide, JoinType, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, filter, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate, Expr, FkSide,
+    JoinType, PlanBuilder, Result, SortKey,
+};
 
 use super::{date, QueryCtx};
 

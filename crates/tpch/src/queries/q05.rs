@@ -3,8 +3,10 @@
 //! (the paper's compound-key example), which propagates to CUSTOMER,
 //! ORDERS, SUPPLIER and LINEITEM.
 
-use bdcc_exec::{aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, FkSide,
-    PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, FkSide, PlanBuilder,
+    Result, SortKey,
+};
 
 use super::{date, revenue_expr, QueryCtx};
 
@@ -22,25 +24,20 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
         &["o_orderkey", "o_custkey"],
         vec![ColPredicate::range("o_orderdate", date("1994-01-01"), date("1995-01-01"))],
     );
-    let lineitem = b.scan(
-        "lineitem",
-        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
-        vec![],
-    );
+    let lineitem =
+        b.scan("lineitem", &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"], vec![]);
     let supplier = b.scan("supplier", &["s_suppkey", "s_nationkey"], vec![]);
 
-    let nr = join(nation, region, &[("n_regionkey", "r_regionkey")], Some(("FK_N_R", FkSide::Left)));
+    let nr =
+        join(nation, region, &[("n_regionkey", "r_regionkey")], Some(("FK_N_R", FkSide::Left)));
     let cn = join(customer, nr, &[("c_nationkey", "n_nationkey")], Some(("FK_C_N", FkSide::Left)));
     let oc = join(orders, cn, &[("o_custkey", "c_custkey")], Some(("FK_O_C", FkSide::Left)));
     let lo = join(lineitem, oc, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
     // Local supplier: s_suppkey = l_suppkey AND s_nationkey = c_nationkey.
-    let ls = join(
-        lo,
-        supplier,
-        &[("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
-        None,
-    );
-    let agg = aggregate(ls, &["n_name"], vec![AggSpec::new(AggFunc::Sum, revenue_expr(), "revenue")]);
+    let ls =
+        join(lo, supplier, &[("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")], None);
+    let agg =
+        aggregate(ls, &["n_name"], vec![AggSpec::new(AggFunc::Sum, revenue_expr(), "revenue")]);
     let plan = sort(agg, vec![SortKey::desc("revenue")], None);
     ctx.run(&plan)
 }

@@ -2,8 +2,10 @@
 //! nation pair resolved via aliased NATION scans and a residual pair
 //! condition.
 
-use bdcc_exec::{aggregate, join, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum,
-    Expr, FkSide, JoinType, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, join, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr, FkSide,
+    JoinType, PlanBuilder, Result, SortKey,
+};
 
 use super::{date, revenue_expr, QueryCtx};
 

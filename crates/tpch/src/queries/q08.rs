@@ -2,8 +2,10 @@
 //! ANODIZED STEEL: the case-sum / sum ratio is computed by projecting the
 //! two aggregates.
 
-use bdcc_exec::{aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr,
-    FkSide, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr, FkSide, PlanBuilder,
+    Result, SortKey,
+};
 
 use super::{date, revenue_expr, QueryCtx};
 

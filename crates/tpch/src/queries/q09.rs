@@ -2,8 +2,10 @@
 //! nation and year. Exercises the composite PARTSUPP join
 //! (partkey, suppkey).
 
-use bdcc_exec::{aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Expr, FkSide,
-    LikePattern, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Expr, FkSide, LikePattern,
+    PlanBuilder, Result, SortKey,
+};
 
 use super::QueryCtx;
 
@@ -16,14 +18,7 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
     );
     let lineitem = b.scan(
         "lineitem",
-        &[
-            "l_orderkey",
-            "l_partkey",
-            "l_suppkey",
-            "l_quantity",
-            "l_extendedprice",
-            "l_discount",
-        ],
+        &["l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount"],
         vec![],
     );
     let supplier = b.scan("supplier", &["s_suppkey", "s_nationkey"], vec![]);
@@ -32,15 +27,11 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
     let nation = b.scan("nation", &["n_nationkey", "n_name"], vec![]);
 
     let lp = join(lineitem, part, &[("l_partkey", "p_partkey")], Some(("FK_L_P", FkSide::Left)));
-    let lps = join(
-        lp,
-        partsupp,
-        &[("l_partkey", "ps_partkey"), ("l_suppkey", "ps_suppkey")],
-        None,
-    );
+    let lps = join(lp, partsupp, &[("l_partkey", "ps_partkey"), ("l_suppkey", "ps_suppkey")], None);
     let lo = join(lps, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
     let lsup = join(lo, supplier, &[("l_suppkey", "s_suppkey")], Some(("FK_L_S", FkSide::Left)));
-    let full = join(lsup, nation, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)));
+    let full =
+        join(lsup, nation, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)));
 
     let amount = Expr::col("l_extendedprice")
         .mul(Expr::lit(1.0).sub(Expr::col("l_discount")))

@@ -2,8 +2,10 @@
 //! top 20 customers by lost revenue. The paper highlights its sandwiched
 //! join and reduced materialization.
 
-use bdcc_exec::{aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, FkSide,
-    PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, FkSide, PlanBuilder,
+    Result, SortKey,
+};
 
 use super::{date, revenue_expr, QueryCtx};
 
@@ -26,7 +28,8 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
     );
     let nation = b.scan("nation", &["n_nationkey", "n_name"], vec![]);
 
-    let lo = join(lineitem, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    let lo =
+        join(lineitem, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
     let loc = join(lo, customer, &[("o_custkey", "c_custkey")], Some(("FK_O_C", FkSide::Left)));
     let full = join(loc, nation, &[("c_nationkey", "n_nationkey")], Some(("FK_C_N", FkSide::Left)));
     let agg = aggregate(

@@ -1,8 +1,10 @@
 //! Q11 — important stock identification in GERMANY: the scalar total is
 //! computed first and injected as a literal threshold (decorrelation).
 
-use bdcc_exec::{aggregate, filter, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum,
-    Expr, FkSide, Node, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, filter, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr, FkSide,
+    Node, PlanBuilder, Result, SortKey,
+};
 
 use super::QueryCtx;
 
@@ -13,9 +15,10 @@ fn german_partsupp(b: &PlanBuilder) -> Node {
         vec![ColPredicate::eq("n_name", Datum::Str("GERMANY".into()))],
     );
     let supplier = b.scan("supplier", &["s_suppkey", "s_nationkey"], vec![]);
-    let partsupp = b.scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty",
-        "ps_supplycost"], vec![]);
-    let sn = join(supplier, nation, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)));
+    let partsupp =
+        b.scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"], vec![]);
+    let sn =
+        join(supplier, nation, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)));
     join(partsupp, sn, &[("ps_suppkey", "s_suppkey")], Some(("FK_PS_S", FkSide::Left)))
 }
 

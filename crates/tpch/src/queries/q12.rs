@@ -3,8 +3,10 @@
 //! The BDCC setup benefits from the o_orderdate / l_receiptdate
 //! correlation via MinMax pruning.
 
-use bdcc_exec::{aggregate, filter, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum,
-    Expr, FkSide, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, filter, join, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr, FkSide,
+    PlanBuilder, Result, SortKey,
+};
 
 use super::{date, QueryCtx};
 
@@ -27,7 +29,8 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
             .and(Expr::col("l_shipdate").lt(Expr::col("l_commitdate"))),
     );
     let orders = b.scan("orders", &["o_orderkey", "o_orderpriority"], vec![]);
-    let lo = join(lineitem, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    let lo =
+        join(lineitem, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
     let high = Expr::if_else(
         Expr::col("o_orderpriority")
             .eq(Expr::lit("1-URGENT"))

@@ -3,8 +3,10 @@
 //! on the customer D_NATION dimension even though NATION is not in the
 //! query — the paper's flagship example of implied co-clustering.
 
-use bdcc_exec::{aggregate, join_full, project, sort, AggFunc, AggSpec, Batch, ColPredicate,
-    Expr, FkSide, JoinType, LikePattern, PlanBuilder, Result, SortKey, MATCHED_COLUMN};
+use bdcc_exec::{
+    aggregate, join_full, project, sort, AggFunc, AggSpec, Batch, ColPredicate, Expr, FkSide,
+    JoinType, LikePattern, PlanBuilder, Result, SortKey, MATCHED_COLUMN,
+};
 
 use super::QueryCtx;
 

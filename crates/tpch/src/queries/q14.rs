@@ -1,7 +1,9 @@
 //! Q14 — promotion effect: PROMO revenue share for September 1995.
 
-use bdcc_exec::{aggregate, join, project, AggFunc, AggSpec, Batch, ColPredicate, Expr, FkSide,
-    LikePattern, PlanBuilder, Result};
+use bdcc_exec::{
+    aggregate, join, project, AggFunc, AggSpec, Batch, ColPredicate, Expr, FkSide, LikePattern,
+    PlanBuilder, Result,
+};
 
 use super::{date, revenue_expr, QueryCtx};
 
@@ -29,10 +31,7 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
     );
     let plan = project(
         agg,
-        vec![(
-            Expr::lit(100.0).mul(Expr::col("promo")).div(Expr::col("total")),
-            "promo_revenue",
-        )],
+        vec![(Expr::lit(100.0).mul(Expr::col("promo")).div(Expr::col("total")), "promo_revenue")],
     );
     ctx.run(&plan)
 }

@@ -2,8 +2,10 @@
 //! scalar, then re-aggregated and filtered to equality (ties included, as
 //! the spec demands).
 
-use bdcc_exec::{aggregate, filter, join, project, sort, AggFunc, AggSpec, Batch, ColPredicate,
-    Expr, Node, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, filter, join, project, sort, AggFunc, AggSpec, Batch, ColPredicate, Expr, Node,
+    PlanBuilder, Result, SortKey,
+};
 
 use super::{date, revenue_expr, QueryCtx};
 

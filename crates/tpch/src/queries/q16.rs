@@ -3,8 +3,10 @@
 //! sandwiched distinct-count shrinks the hash table 25× at the cost of a
 //! hash join instead of the PK merge join.
 
-use bdcc_exec::{aggregate, join, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum,
-    Expr, FkSide, JoinType, LikePattern, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, join, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr, FkSide,
+    JoinType, LikePattern, PlanBuilder, Result, SortKey,
+};
 
 use super::QueryCtx;
 

@@ -1,8 +1,10 @@
 //! Q17 — small-quantity-order revenue for Brand#23 MED BOX parts: the
 //! correlated AVG subquery becomes an aggregate-and-rejoin on partkey.
 
-use bdcc_exec::{aggregate, filter, join, project, AggFunc, AggSpec, Batch, ColPredicate, Datum,
-    Expr, FkSide, PlanBuilder, Result};
+use bdcc_exec::{
+    aggregate, filter, join, project, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr, FkSide,
+    PlanBuilder, Result,
+};
 
 use super::QueryCtx;
 
@@ -18,8 +20,7 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
     );
     // Average quantity per selected part.
     let li_avg = b.scan("lineitem", &["l_partkey", "l_quantity"], vec![]);
-    let li_avg =
-        join(li_avg, part, &[("l_partkey", "p_partkey")], Some(("FK_L_P", FkSide::Left)));
+    let li_avg = join(li_avg, part, &[("l_partkey", "p_partkey")], Some(("FK_L_P", FkSide::Left)));
     let avg = aggregate(
         li_avg,
         &["l_partkey"],
@@ -41,9 +42,6 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
         &[],
         vec![AggSpec::new(AggFunc::Sum, Expr::col("l_extendedprice"), "sum_price")],
     );
-    let plan = project(
-        total,
-        vec![(Expr::col("sum_price").div(Expr::lit(7.0)), "avg_yearly")],
-    );
+    let plan = project(total, vec![(Expr::col("sum_price").div(Expr::lit(7.0)), "avg_yearly")]);
     ctx.run(&plan)
 }

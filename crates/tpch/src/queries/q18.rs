@@ -7,8 +7,10 @@
 //! sandwiching beats Plain, but the PK scheme's streaming aggregate over
 //! the orderkey-sorted table "cannot be beaten".
 
-use bdcc_exec::{aggregate, filter, join, sort, AggFunc, AggSpec, Batch, Expr, FkSide,
-    PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, filter, join, sort, AggFunc, AggSpec, Batch, Expr, FkSide, PlanBuilder, Result,
+    SortKey,
+};
 
 use super::QueryCtx;
 
@@ -21,11 +23,8 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
         vec![AggSpec::new(AggFunc::Sum, Expr::col("l_quantity"), "sum_qty")],
     );
     let big = filter(li_sum, Expr::col("sum_qty").gt(Expr::lit(250.0)));
-    let orders = b.scan(
-        "orders",
-        &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"],
-        vec![],
-    );
+    let orders =
+        b.scan("orders", &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"], vec![]);
     let customer = b.scan("customer", &["c_custkey", "c_name"], vec![]);
     let ob = join(orders, big, &[("o_orderkey", "l_orderkey")], None);
     let oc = join(ob, customer, &[("o_custkey", "c_custkey")], Some(("FK_O_C", FkSide::Left)));
@@ -34,10 +33,7 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
         &["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
         vec![AggSpec::new(AggFunc::Max, Expr::col("sum_qty"), "total_qty")],
     );
-    let plan = sort(
-        agg,
-        vec![SortKey::desc("o_totalprice"), SortKey::asc("o_orderdate")],
-        Some(100),
-    );
+    let plan =
+        sort(agg, vec![SortKey::desc("o_totalprice"), SortKey::asc("o_orderdate")], Some(100));
     ctx.run(&plan)
 }

@@ -1,17 +1,20 @@
 //! Q19 — discounted revenue: three disjunctive brand/container/quantity
 //! branches evaluated as a join residual.
 
-use bdcc_exec::{aggregate, join_full, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr,
-    FkSide, JoinType, PlanBuilder, Result};
+use bdcc_exec::{
+    aggregate, join_full, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr, FkSide, JoinType,
+    PlanBuilder, Result,
+};
 
 use super::{revenue_expr, QueryCtx};
 
 fn branch(brand: &str, containers: [&str; 4], qlo: f64, qhi: f64, size_hi: i64) -> Expr {
     Expr::col("p_brand")
         .eq(Expr::lit(brand))
-        .and(Expr::col("p_container").in_list(
-            containers.iter().map(|c| Datum::Str(c.to_string())).collect(),
-        ))
+        .and(
+            Expr::col("p_container")
+                .in_list(containers.iter().map(|c| Datum::Str(c.to_string())).collect()),
+        )
         .and(Expr::col("l_quantity").ge(Expr::lit(qlo)))
         .and(Expr::col("l_quantity").le(Expr::lit(qhi)))
         .and(Expr::col("p_size").ge(Expr::lit(1)))

@@ -1,8 +1,10 @@
 //! Q20 — potential part promotion: CANADA suppliers holding excess stock
 //! of forest parts. Nested subqueries lowered to aggregates and semi joins.
 
-use bdcc_exec::{aggregate, filter, join, join_full, project, sort, AggFunc, AggSpec, Batch,
-    ColPredicate, Datum, Expr, FkSide, JoinType, LikePattern, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, filter, join, join_full, project, sort, AggFunc, AggSpec, Batch, ColPredicate,
+    Datum, Expr, FkSide, JoinType, LikePattern, PlanBuilder, Result, SortKey,
+};
 
 use super::{date, QueryCtx};
 
@@ -52,9 +54,11 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
         vec![ColPredicate::eq("n_name", Datum::Str("CANADA".into()))],
     );
     let supplier = b.scan("supplier", &["s_suppkey", "s_name", "s_address", "s_nationkey"], vec![]);
-    let sn = join(supplier, nation, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)));
+    let sn =
+        join(supplier, nation, &[("s_nationkey", "n_nationkey")], Some(("FK_S_N", FkSide::Left)));
     let out = join_full(sn, supp_keys, &[("s_suppkey", "x_suppkey")], JoinType::Semi, None, None);
-    let out = project(out, vec![(Expr::col("s_name"), "s_name"), (Expr::col("s_address"), "s_address")]);
+    let out =
+        project(out, vec![(Expr::col("s_name"), "s_name"), (Expr::col("s_address"), "s_address")]);
     let plan = sort(out, vec![SortKey::asc("s_name")], None);
     ctx.run(&plan)
 }

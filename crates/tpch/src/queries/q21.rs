@@ -2,8 +2,10 @@
 //! query; EXISTS/NOT EXISTS lowered to semi/anti joins with a
 //! different-supplier residual.
 
-use bdcc_exec::{aggregate, filter, join, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate,
-    Datum, Expr, FkSide, JoinType, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, filter, join, join_full, sort, AggFunc, AggSpec, Batch, ColPredicate, Datum, Expr,
+    FkSide, JoinType, PlanBuilder, Result, SortKey,
+};
 
 use super::QueryCtx;
 
@@ -16,11 +18,7 @@ pub fn run(ctx: &QueryCtx) -> Result<Batch> {
     );
     let supplier = b.scan("supplier", &["s_suppkey", "s_name", "s_nationkey"], vec![]);
     let l1 = filter(
-        b.scan(
-            "lineitem",
-            &["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"],
-            vec![],
-        ),
+        b.scan("lineitem", &["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"], vec![]),
         Expr::col("l_receiptdate").gt(Expr::col("l_commitdate")),
     );
     let orders = b.scan(

@@ -1,16 +1,15 @@
 //! Q22 — global sales opportunity: phone country codes, an average-balance
 //! scalar, and NOT EXISTS lowered to an anti join against ORDERS.
 
-use bdcc_exec::{aggregate, filter, join_full, project, sort, AggFunc, AggSpec, Batch, Datum,
-    Expr, FkSide, JoinType, Node, PlanBuilder, Result, SortKey};
+use bdcc_exec::{
+    aggregate, filter, join_full, project, sort, AggFunc, AggSpec, Batch, Datum, Expr, FkSide,
+    JoinType, Node, PlanBuilder, Result, SortKey,
+};
 
 use super::QueryCtx;
 
 fn codes() -> Vec<Datum> {
-    ["13", "31", "23", "29", "30", "18", "17"]
-        .iter()
-        .map(|c| Datum::Str(c.to_string()))
-        .collect()
+    ["13", "31", "23", "29", "30", "18", "17"].iter().map(|c| Datum::Str(c.to_string())).collect()
 }
 
 fn coded_customers(b: &PlanBuilder) -> Node {

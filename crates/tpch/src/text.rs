@@ -41,19 +41,16 @@ pub const NATIONS: [(&str, i64); 25] = [
     ("CHINA", 2),
 ];
 
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
 
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 pub const SHIP_INSTRUCTIONS: [&str; 4] =
     ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 
-pub const TYPE_SYLLABLE_1: [&str; 6] =
-    ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLLABLE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 pub const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 
@@ -63,18 +60,63 @@ pub const CONTAINER_SYLLABLE_2: [&str; 8] =
 
 /// Colors used in part names (`p_name like '%green%'` — Q9/Q20).
 pub const COLORS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "green", "red", "rose", "salmon",
-    "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "green",
+    "red",
+    "rose",
+    "salmon",
+    "white",
+    "yellow",
 ];
 
 /// Comment vocabulary. Includes the tokens the queries grep for:
 /// `special`/`requests` (Q13) and `Customer`/`Complaints` (Q16).
 pub const COMMENT_WORDS: [&str; 32] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "express", "special", "regular",
-    "ironic", "pending", "final", "bold", "unusual", "requests", "deposits", "packages",
-    "theodolites", "accounts", "instructions", "foxes", "pinto", "beans", "dependencies", "ideas",
-    "platelets", "sleep", "haggle", "nag", "wake", "Customer", "Complaints", "excuses",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "express",
+    "special",
+    "regular",
+    "ironic",
+    "pending",
+    "final",
+    "bold",
+    "unusual",
+    "requests",
+    "deposits",
+    "packages",
+    "theodolites",
+    "accounts",
+    "instructions",
+    "foxes",
+    "pinto",
+    "beans",
+    "dependencies",
+    "ideas",
+    "platelets",
+    "sleep",
+    "haggle",
+    "nag",
+    "wake",
+    "Customer",
+    "Complaints",
+    "excuses",
 ];
 
 /// A comment of `min..=max` words.
@@ -113,9 +155,9 @@ pub fn brand(rng: &mut StdRng) -> (i64, String) {
 pub fn part_type(rng: &mut StdRng) -> String {
     format!(
         "{} {} {}",
-        TYPE_SYLLABLE_1[rng.random_range(0..6)],
-        TYPE_SYLLABLE_2[rng.random_range(0..5)],
-        TYPE_SYLLABLE_3[rng.random_range(0..5)]
+        TYPE_SYLLABLE_1[rng.random_range(0..6usize)],
+        TYPE_SYLLABLE_2[rng.random_range(0..5usize)],
+        TYPE_SYLLABLE_3[rng.random_range(0..5usize)]
     )
 }
 
@@ -123,8 +165,8 @@ pub fn part_type(rng: &mut StdRng) -> String {
 pub fn container(rng: &mut StdRng) -> String {
     format!(
         "{} {}",
-        CONTAINER_SYLLABLE_1[rng.random_range(0..5)],
-        CONTAINER_SYLLABLE_2[rng.random_range(0..8)]
+        CONTAINER_SYLLABLE_1[rng.random_range(0..5usize)],
+        CONTAINER_SYLLABLE_2[rng.random_range(0..8usize)]
     )
 }
 
@@ -145,7 +187,7 @@ pub fn address(rng: &mut StdRng) -> String {
     let len = rng.random_range(8..24);
     (0..len)
         .map(|_| {
-            let c = rng.random_range(0..36);
+            let c = rng.random_range(0..36u8);
             if c < 10 {
                 (b'0' + c) as char
             } else {

@@ -62,7 +62,11 @@ fn main() {
         let id = db.catalog().table_id(t.name()).unwrap();
         db.attach(id, Arc::new(t));
     };
-    for (name, key, val) in [("d1", "d1_key", "d1_continent"), ("d2", "d2_key", "d2_year"), ("d3", "d3_key", "d3_value")] {
+    for (name, key, val) in [
+        ("d1", "d1_key", "d1_continent"),
+        ("d2", "d2_key", "d2_year"),
+        ("d3", "d3_key", "d3_value"),
+    ] {
         attach(
             &mut db,
             TableBuilder::new(name)

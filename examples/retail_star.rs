@@ -12,8 +12,9 @@ use std::sync::Arc;
 
 use bdcc::prelude::*;
 use bdcc_catalog::{ColumnDef, TableDef};
-use bdcc_exec::{aggregate, join, AggFunc, AggSpec, ColPredicate, Expr, FkSide, PlanBuilder,
-    QueryContext};
+use bdcc_exec::{
+    aggregate, join, AggFunc, AggSpec, ColPredicate, Expr, FkSide, PlanBuilder, QueryContext,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,13 +103,11 @@ fn main() {
     // a consecutive D_STORE bin range and propagates into SALES.
     let build_plan = || {
         let b = PlanBuilder::new();
-        let store = b.scan(
-            "store",
-            &["st_key", "st_city"],
-            vec![ColPredicate::eq("st_region", 3i64)],
-        );
+        let store =
+            b.scan("store", &["st_key", "st_city"], vec![ColPredicate::eq("st_region", 3i64)]);
         let sales = b.scan("sales", &["sa_store", "sa_amount"], vec![]);
-        let joined = join(sales, store, &[("sa_store", "st_key")], Some(("FK_SA_ST", FkSide::Left)));
+        let joined =
+            join(sales, store, &[("sa_store", "st_key")], Some(("FK_SA_ST", FkSide::Left)));
         aggregate(
             joined,
             &["st_city"],

@@ -19,7 +19,13 @@ fn main() {
     let (dims, tables) = preview_design(&catalog, &sf100_ndv(), &cfg).unwrap();
     println!("dimensions:");
     for d in &dims {
-        println!("  {:<9} {:>2} bits  {}({})", d.name, d.bits, d.table.to_uppercase(), d.key.join(","));
+        println!(
+            "  {:<9} {:>2} bits  {}({})",
+            d.name,
+            d.bits,
+            d.table.to_uppercase(),
+            d.key.join(",")
+        );
     }
     println!("\ndimension uses (cf. the paper's Section IV table):");
     for t in &tables {

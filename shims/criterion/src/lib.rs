@@ -1,0 +1,108 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! [`Criterion::bench_function`] runs the closure `sample_size` times
+//! after one warm-up iteration and prints the minimum and mean wall-clock
+//! time per iteration. There is no statistics engine, no output files and
+//! no command-line interface — just honest timings on stdout, which is
+//! what the experiment harness needs in a hermetic environment.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size), n: self.sample_size };
+        f(&mut b);
+        let n = b.samples.len().max(1);
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!("{name:<50} min {:>12?}  mean {:>12?}  ({n} samples)", min, mean);
+        self
+    }
+}
+
+/// Passed to the benchmark closure; [`iter`](Bencher::iter) measures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    n: usize,
+}
+
+impl Bencher {
+    /// Measure `f` over the configured number of samples (after one
+    /// warm-up call whose result is discarded).
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.n {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// Declare a benchmark group: a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_iterations() {
+        let mut count = 0usize;
+        Criterion::default().sample_size(5).bench_function("t", |b| {
+            b.iter(|| count += 1);
+        });
+        // one warm-up + five samples
+        assert_eq!(count, 6);
+    }
+}

@@ -1,0 +1,149 @@
+//! The parallel-execution counterpart of `cross_scheme.rs`: every TPC-H
+//! query must return **identical** results under morsel-driven parallel
+//! execution and serial execution, for each of the three storage schemes.
+//! The morsel size is forced far below the defaults so that every table
+//! splits into many morsels and all the merge paths (ordered concat,
+//! partial-aggregate fold) actually run.
+
+use std::sync::Arc;
+
+use bdcc::prelude::*;
+use bdcc_exec::ops::bdcc_scan::GroupSpec;
+use bdcc_exec::parallel::morsel::{split_blocks, split_groups, Morsel};
+use bdcc_exec::{ParallelConfig, QueryContext};
+
+fn schemes() -> (f64, Vec<Arc<SchemeDb>>) {
+    let sf = 0.002;
+    let db = bdcc::tpch::generate(&GenConfig::new(sf));
+    let plain = Arc::new(plain_scheme(&db));
+    let pk = Arc::new(pk_scheme(&db).expect("pk scheme"));
+    let bdcc = Arc::new(bdcc_scheme(&db, &DesignConfig::default()).expect("bdcc scheme"));
+    (sf, vec![plain, pk, bdcc])
+}
+
+/// Row-wise comparison of two canonical row sets that treats float fields
+/// numerically: serial and parallel compensated sums are each within ~1 ulp
+/// of the true value but associate differently, and a 1-ulp difference can
+/// flip the last printed digit exactly on a decimal rounding boundary. A
+/// tiny relative tolerance keeps the suite from ever failing on such a
+/// boundary artifact while still catching any real divergence.
+fn rows_equivalent(a: &[String], b: &[String]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).all(|(ra, rb)| {
+        let (fa, fb): (Vec<&str>, Vec<&str>) = (ra.split('|').collect(), rb.split('|').collect());
+        fa.len() == fb.len()
+            && fa.iter().zip(&fb).all(|(x, y)| {
+                if x == y {
+                    return true;
+                }
+                match (x.parse::<f64>(), y.parse::<f64>()) {
+                    (Ok(vx), Ok(vy)) => (vx - vy).abs() <= 1e-9 * vx.abs().max(vy.abs()).max(1.0),
+                    _ => false,
+                }
+            })
+    })
+}
+
+#[test]
+fn all_queries_parallel_equals_serial_on_all_schemes() {
+    let (sf, sdbs) = schemes();
+    // 256-row morsels: even SF 0.002 tables split into dozens of morsels.
+    let par_cfg = ParallelConfig { threads: 4, morsel_rows: 256 };
+    let mut failures = Vec::new();
+    for q in all_queries() {
+        for sdb in &sdbs {
+            let serial_ctx = QueryCtx::new(QueryContext::new(Arc::clone(sdb)), sf);
+            let par_ctx =
+                QueryCtx::new(QueryContext::with_parallel(Arc::clone(sdb), par_cfg.clone()), sf);
+            let serial = (q.run)(&serial_ctx);
+            let parallel = (q.run)(&par_ctx);
+            match (serial, parallel) {
+                (Ok(s), Ok(p)) => {
+                    let (s, p) = (canonical_rows(&s), canonical_rows(&p));
+                    if !rows_equivalent(&s, &p) {
+                        failures.push(format!(
+                            "{} on {}: serial {} rows vs parallel {} rows; first diff: {:?} vs {:?}",
+                            q.name,
+                            sdb.scheme.name(),
+                            s.len(),
+                            p.len(),
+                            s.iter().find(|r| !p.contains(r)),
+                            p.iter().find(|r| !s.contains(r)),
+                        ));
+                    }
+                }
+                (Err(e), _) => {
+                    failures.push(format!("{} serial failed on {}: {e}", q.name, sdb.scheme.name()))
+                }
+                (_, Err(e)) => failures.push(format!(
+                    "{} parallel failed on {}: {e}",
+                    q.name,
+                    sdb.scheme.name()
+                )),
+            }
+        }
+    }
+    assert!(failures.is_empty(), "parallel/serial disagreement:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn single_thread_config_plans_serially_and_agrees() {
+    // threads = 1 must take the serial paths (worth_splitting is false)
+    // and still produce the same answers.
+    let (sf, sdbs) = schemes();
+    let cfg = ParallelConfig { threads: 1, morsel_rows: 256 };
+    let q6 = all_queries().into_iter().find(|q| q.id == 6).unwrap();
+    for sdb in &sdbs {
+        let serial = (q6.run)(&QueryCtx::new(QueryContext::new(Arc::clone(sdb)), sf)).unwrap();
+        let one =
+            (q6.run)(&QueryCtx::new(QueryContext::with_parallel(Arc::clone(sdb), cfg.clone()), sf))
+                .unwrap();
+        assert_eq!(canonical_rows(&serial), canonical_rows(&one));
+    }
+}
+
+// --- morsel-splitting edge cases over the public API ----------------------
+
+fn group(start: usize, count: usize) -> GroupSpec {
+    GroupSpec { start, count, group_keys: vec![] }
+}
+
+#[test]
+fn morsel_splitting_handles_uneven_groups() {
+    // Wildly uneven group sizes: a huge group stays whole (groups are
+    // indivisible), tiny ones coalesce, order and coverage are preserved.
+    let sizes = [3usize, 1, 1, 5000, 2, 900, 1, 1, 1, 1];
+    let mut start = 0;
+    let groups: Vec<GroupSpec> = sizes
+        .iter()
+        .map(|&c| {
+            let g = group(start, c);
+            start += c;
+            g
+        })
+        .collect();
+    let morsels = split_groups(&groups, 1000);
+    let mut covered = Vec::new();
+    for m in &morsels {
+        match m {
+            Morsel::Groups(r) => covered.extend(r.clone()),
+            _ => panic!("group split yielded a block morsel"),
+        }
+    }
+    assert_eq!(covered, (0..groups.len()).collect::<Vec<_>>(), "must tile all groups in order");
+    // The oversized group closes its morsel immediately; the tail of tiny
+    // groups never reaches the budget and coalesces into the final morsel.
+    assert_eq!(morsels, vec![Morsel::Groups(0..4), Morsel::Groups(4..10)]);
+}
+
+#[test]
+fn morsel_splitting_one_row_and_empty() {
+    // Empty table: no morsels, parallel scan degenerates gracefully.
+    assert!(split_groups(&[], 1024).is_empty());
+    assert!(split_blocks(0, 4096, 1024).is_empty());
+    // One-row table: exactly one morsel covering it.
+    assert_eq!(split_groups(&[group(0, 1)], 1024), vec![Morsel::Groups(0..1)]);
+    assert_eq!(split_blocks(1, 4096, 1024), vec![Morsel::Blocks(0..1)]);
+}

@@ -109,7 +109,7 @@ fn query_results_have_expected_shapes() {
     // Q16: supplier counts positive and ≤ total suppliers.
     let q16 = get(&results, 16);
     for &c in q16.columns[3].as_i64().unwrap() {
-        assert!(c >= 1 && c <= 40);
+        assert!((1..=40).contains(&c));
     }
 
     // Q17: one scalar ≥ 0.
