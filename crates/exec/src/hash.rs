@@ -1,0 +1,435 @@
+//! # Allocation-free join index
+//!
+//! The shared hashing substrate of both hash-join variants (and, via
+//! [`FxBuildHasher`], the aggregation hash tables). It replaces the seed's
+//! `HashMap<Vec<i64>, Vec<u32>>` build — one `Vec<i64>` key allocation and
+//! one `Vec<u32>` row list per distinct key, all hashed with SipHash —
+//! with a flat structure that performs **zero per-row heap allocations**
+//! on build or probe.
+//!
+//! ## Table layout
+//!
+//! A [`JoinTable`] is three parallel flat arrays plus a bucket directory:
+//!
+//! ```text
+//! buckets: [u32; 2^b]   head entry per bucket (EMPTY = u32::MAX)
+//! next:    [u32; n]     bucket chain: entry -> next entry with same bucket
+//! keys:    [i64; n * K] the K key columns, packed row-major
+//! rows:    [u32; n]     build-row id per entry (absent on the serial
+//!                       fast path, where entry == row)
+//! ```
+//!
+//! Bucket chains are threaded through `next` — the classic "array hash
+//! join" layout — so rows with equal keys need no per-key list: they
+//! simply share a chain. Entries are inserted in **reverse** row order at
+//! chain heads, so every chain walks in ascending build-row order; probes
+//! therefore yield matches in exactly the order the seed's
+//! `Vec<u32>` row lists did, keeping results byte-identical.
+//!
+//! ## Hashing
+//!
+//! Keys are hashed with the multiplicative FxHash round
+//! (`h = (rotl(h,5) ^ v) * K`, [`FxHasher`]'s core) over the packed
+//! `[i64; K]` key — a single multiply for the common one-column `u64`
+//! fast path — followed by one avalanche multiply so that the *low* bits
+//! (bucket index) and the *high* bits (partition index) are both usable.
+//!
+//! ## Parallel partitioned build
+//!
+//! [`JoinIndex::build`] with a [`ParallelConfig`] splits the build input
+//! into morsel-sized row chunks, workers hash-partition each chunk by the
+//! key's top hash bits ([`crate::parallel::partition`]), per-partition row
+//! lists concatenate in chunk order (ascending row ids — the
+//! order-deterministic merge contract), and each worker then builds its
+//! partition's [`JoinTable`] locally. Probes compute the same hash once
+//! and route to the owning partition. Because a key's rows all land in one
+//! partition and chains stay ascending, the partitioned index returns
+//! matches in the same order as the serial one: parallel and serial
+//! execution remain byte-identical.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::error::Result;
+use crate::parallel::{partition, pool, ParallelConfig};
+
+/// The FxHash multiplier (a.k.a. the Firefox/rustc hash constant).
+const FX_K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Chain/bucket terminator.
+const EMPTY: u32 = u32::MAX;
+
+/// One FxHash round: fold `v` into `h`.
+#[inline(always)]
+fn fx_round(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(FX_K)
+}
+
+/// Final avalanche: the raw multiplicative hash mixes *up* (high bits are
+/// strong, low bits weak); one xor-shift + multiply makes the low bits —
+/// which index the bucket directory — depend on every key bit.
+#[inline(always)]
+fn avalanche(h: u64) -> u64 {
+    let h = (h ^ (h >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+/// Hash a packed multi-column integer key.
+#[inline]
+pub fn hash_key(key: &[i64]) -> u64 {
+    let mut h = 0u64;
+    for &v in key {
+        h = fx_round(h, v as u64);
+    }
+    avalanche(h)
+}
+
+/// Hash row `row` of a set of key columns (same value as [`hash_key`] over
+/// the packed key, without materializing it).
+#[inline]
+pub fn hash_row(key_cols: &[&[i64]], row: usize) -> u64 {
+    let mut h = 0u64;
+    for c in key_cols {
+        h = fx_round(h, c[row] as u64);
+    }
+    avalanche(h)
+}
+
+/// A [`Hasher`] running the FxHash rounds — drop-in replacement for
+/// SipHash in `HashMap`/`HashSet` on hot paths that hash small integer or
+/// short composite keys (the aggregation group keys).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.hash = fx_round(self.hash, u64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut v = [0u8; 8];
+            v[..rest.len()].copy_from_slice(rest);
+            self.hash = fx_round(self.hash, u64::from_le_bytes(v));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.hash = fx_round(self.hash, i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.hash = fx_round(self.hash, i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.hash = fx_round(self.hash, i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.hash = fx_round(self.hash, i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        avalanche(self.hash)
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into std collections.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// One flat open-addressed-directory + chained-entry hash table (see the
+/// module doc for the layout). Covers either the whole build side (serial)
+/// or one hash partition of it (parallel).
+pub struct JoinTable {
+    buckets: Vec<u32>,
+    next: Vec<u32>,
+    /// Packed keys, `key_width` values per entry.
+    keys: Vec<i64>,
+    /// Build-row id per entry; `None` on the serial fast path where the
+    /// entry index *is* the row id.
+    rows: Option<Vec<u32>>,
+    key_width: usize,
+    mask: u64,
+}
+
+impl JoinTable {
+    /// Build over `row_ids` (must be ascending; `None` = all rows
+    /// `0..len`). Takes the id list by value — the partitioned build hands
+    /// each table its partition's list without copying. Exactly three
+    /// allocations, none per-row.
+    pub fn build(key_cols: &[&[i64]], row_ids: Option<Vec<u32>>) -> JoinTable {
+        let key_width = key_cols.len().max(1);
+        let n = match &row_ids {
+            Some(ids) => ids.len(),
+            None => key_cols.first().map(|c| c.len()).unwrap_or(0),
+        };
+        // Pack the keys row-major (the partition scatter: a sequential
+        // gather per key column into one flat buffer).
+        let mut keys = Vec::with_capacity(n * key_cols.len());
+        match &row_ids {
+            Some(ids) => {
+                for &r in ids {
+                    for c in key_cols {
+                        keys.push(c[r as usize]);
+                    }
+                }
+            }
+            None => {
+                for r in 0..n {
+                    for c in key_cols {
+                        keys.push(c[r]);
+                    }
+                }
+            }
+        }
+        // Power-of-two directory at load factor <= 0.5.
+        let nbuckets = (n.max(4) * 2).next_power_of_two();
+        let mask = nbuckets as u64 - 1;
+        let mut buckets = vec![EMPTY; nbuckets];
+        let mut next = vec![EMPTY; n];
+        // Insert entries in reverse so each chain (head insertion) walks
+        // in ascending entry — and therefore ascending row — order.
+        for e in (0..n).rev() {
+            let h = hash_key(&keys[e * key_width..(e + 1) * key_width]);
+            let b = (h & mask) as usize;
+            next[e] = buckets[b];
+            buckets[b] = e as u32;
+        }
+        JoinTable { buckets, next, keys, rows: row_ids, key_width, mask }
+    }
+
+    /// Entries in this table.
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+
+    /// Walk all build rows whose key equals `key` (pre-hashed to `h`), in
+    /// ascending build-row order.
+    #[inline]
+    pub fn probe<F: FnMut(u32)>(&self, h: u64, key: &[i64], f: &mut F) {
+        let mut e = self.buckets[(h & self.mask) as usize];
+        while e != EMPTY {
+            let i = e as usize;
+            let base = i * self.key_width;
+            if &self.keys[base..base + self.key_width] == key {
+                f(match &self.rows {
+                    Some(rows) => rows[i],
+                    None => e,
+                });
+            }
+            e = self.next[i];
+        }
+    }
+
+    /// Bytes held by the flat arrays (memory-tracker accounting).
+    pub fn estimated_bytes(&self) -> u64 {
+        (self.buckets.len() * 4
+            + self.next.len() * 4
+            + self.keys.len() * 8
+            + self.rows.as_ref().map(|r| r.len() * 4).unwrap_or(0)) as u64
+    }
+}
+
+/// Bytes a serial [`JoinTable`] over `rows` rows of `key_width` key
+/// columns would hold — for operators that must account for a build
+/// *before* running it (the sandwich join registers each group's table
+/// with the memory tracker up front). Matches [`JoinTable::estimated_bytes`]
+/// for an unpartitioned build.
+pub fn estimated_table_bytes(rows: usize, key_width: usize) -> u64 {
+    let nbuckets = (rows.max(4) * 2).next_power_of_two();
+    (nbuckets * 4 + rows * 4 + rows * key_width.max(1) * 8) as u64
+}
+
+/// The build-side index of a hash join: one [`JoinTable`] (serial) or one
+/// per hash partition (parallel partitioned build).
+pub struct JoinIndex {
+    tables: Vec<JoinTable>,
+    /// Top hash bits selecting the partition (0 = unpartitioned).
+    partition_bits: u32,
+    key_width: usize,
+}
+
+impl JoinIndex {
+    /// Build the index over the build side's key columns. With a parallel
+    /// config (threads > 1) and more than one morsel of rows, the build is
+    /// hash-partitioned and each partition's table is built by a worker;
+    /// otherwise one table is built serially. Both forms return matches in
+    /// identical order.
+    pub fn build(key_cols: &[&[i64]], parallel: Option<&ParallelConfig>) -> Result<JoinIndex> {
+        let n = key_cols.first().map(|c| c.len()).unwrap_or(0);
+        let key_width = key_cols.len().max(1);
+        match parallel {
+            Some(cfg) if cfg.threads > 1 && n > cfg.morsel_rows => {
+                let bits = partition::partition_bits_for(cfg.threads);
+                // Mutex-wrapped so each worker can *take* its partition's
+                // row-id list (tasks are per-partition, so the one lock per
+                // table build is noise and the list is never copied).
+                let parts: Vec<std::sync::Mutex<Vec<u32>>> =
+                    partition::hash_partition_rows(key_cols, bits, cfg)?
+                        .into_iter()
+                        .map(std::sync::Mutex::new)
+                        .collect();
+                let tables = pool::run_tasks(cfg.threads, parts.len(), |p| {
+                    let ids = std::mem::take(&mut *parts[p].lock().expect("partition poisoned"));
+                    Ok(JoinTable::build(key_cols, Some(ids)))
+                })?;
+                Ok(JoinIndex { tables, partition_bits: bits, key_width })
+            }
+            _ => Ok(JoinIndex {
+                tables: vec![JoinTable::build(key_cols, None)],
+                partition_bits: 0,
+                key_width,
+            }),
+        }
+    }
+
+    /// Call `f` with every build row whose key equals `key`, in ascending
+    /// build-row order.
+    #[inline]
+    pub fn for_each_match<F: FnMut(u32)>(&self, key: &[i64], mut f: F) {
+        debug_assert_eq!(key.len(), self.key_width);
+        let h = hash_key(key);
+        let t = if self.partition_bits == 0 {
+            &self.tables[0]
+        } else {
+            &self.tables[(h >> (64 - self.partition_bits)) as usize]
+        };
+        t.probe(h, key, &mut f);
+    }
+
+    /// Total entries across partitions (== build rows).
+    pub fn len(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// True when no build rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of hash partitions (1 = serial build).
+    pub fn partition_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Bytes held by all partitions' flat arrays.
+    pub fn estimated_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.estimated_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matches(idx: &JoinIndex, key: &[i64]) -> Vec<u32> {
+        let mut out = Vec::new();
+        idx.for_each_match(key, |r| out.push(r));
+        out
+    }
+
+    #[test]
+    fn single_column_lookup_in_row_order() {
+        let keys: Vec<i64> = vec![5, 3, 5, 7, 3, 5];
+        let idx = JoinIndex::build(&[&keys], None).unwrap();
+        assert_eq!(matches(&idx, &[5]), vec![0, 2, 5]);
+        assert_eq!(matches(&idx, &[3]), vec![1, 4]);
+        assert_eq!(matches(&idx, &[7]), vec![3]);
+        assert_eq!(matches(&idx, &[9]), Vec::<u32>::new());
+        assert_eq!(idx.len(), 6);
+        assert_eq!(idx.partition_count(), 1);
+    }
+
+    #[test]
+    fn multi_column_keys_distinguish_rows() {
+        let a: Vec<i64> = vec![1, 1, 2, 1];
+        let b: Vec<i64> = vec![10, 20, 10, 10];
+        let idx = JoinIndex::build(&[&a, &b], None).unwrap();
+        assert_eq!(matches(&idx, &[1, 10]), vec![0, 3]);
+        assert_eq!(matches(&idx, &[1, 20]), vec![1]);
+        assert_eq!(matches(&idx, &[2, 10]), vec![2]);
+        assert_eq!(matches(&idx, &[2, 20]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn empty_build_side() {
+        let keys: Vec<i64> = vec![];
+        let idx = JoinIndex::build(&[&keys], None).unwrap();
+        assert!(idx.is_empty());
+        assert_eq!(matches(&idx, &[1]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn dense_sequential_keys_spread_over_buckets() {
+        // Sequential keys are the worst case for a raw multiplicative
+        // hash's low bits; the avalanche must keep chains short.
+        let keys: Vec<i64> = (0..4096).collect();
+        let t = JoinTable::build(&[&keys], None);
+        let mut max_chain = 0usize;
+        for &head in &t.buckets {
+            let mut len = 0;
+            let mut e = head;
+            while e != EMPTY {
+                len += 1;
+                e = t.next[e as usize];
+            }
+            max_chain = max_chain.max(len);
+        }
+        assert!(max_chain <= 8, "degenerate chain of length {max_chain}");
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_order() {
+        let n = 10_000i64;
+        let keys: Vec<i64> = (0..n).map(|i| i % 997).collect();
+        let serial = JoinIndex::build(&[&keys], None).unwrap();
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 512 };
+        let parallel = JoinIndex::build(&[&keys], Some(&cfg)).unwrap();
+        assert!(parallel.partition_count() > 1, "build must have partitioned");
+        assert_eq!(parallel.len(), serial.len());
+        for k in 0..997 {
+            assert_eq!(matches(&parallel, &[k]), matches(&serial, &[k]), "key {k}");
+        }
+    }
+
+    #[test]
+    fn one_thread_config_builds_serially() {
+        let keys: Vec<i64> = (0..1000).collect();
+        let cfg = ParallelConfig { threads: 1, morsel_rows: 16 };
+        let idx = JoinIndex::build(&[&keys], Some(&cfg)).unwrap();
+        assert_eq!(idx.partition_count(), 1);
+    }
+
+    #[test]
+    fn fx_hasher_hashes_composite_std_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<(Vec<i64>, String), usize, FxBuildHasher> = HashMap::default();
+        m.insert((vec![1, 2], "a".into()), 1);
+        m.insert((vec![1, 2], "b".into()), 2);
+        m.insert((vec![2, 1], "a".into()), 3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[&(vec![1, 2], "a".to_string())], 1);
+    }
+
+    #[test]
+    fn estimated_bytes_scales_with_rows() {
+        let keys: Vec<i64> = (0..1024).collect();
+        let idx = JoinIndex::build(&[&keys], None).unwrap();
+        // 1024 entries: >= keys (8B) + next (4B) per entry.
+        assert!(idx.estimated_bytes() >= 1024 * 12);
+    }
+}

@@ -9,6 +9,7 @@
 pub mod batch;
 pub mod error;
 pub mod expr;
+pub mod hash;
 pub mod memory;
 pub mod ops;
 pub mod parallel;
@@ -23,6 +24,7 @@ pub use batch::{Batch, BatchAssembler, ColMeta, OpSchema, BATCH_ROWS};
 pub use bdcc_storage::Datum;
 pub use error::{ExecError, Result};
 pub use expr::{ArithOp, CmpOp, Expr, LikePattern};
+pub use hash::{FxBuildHasher, FxHasher, JoinIndex, JoinTable};
 pub use memory::{MemoryGuard, MemoryTracker};
 pub use ops::agg::{AggFunc, AggSpec};
 pub use ops::join::{JoinType, MATCHED_COLUMN};

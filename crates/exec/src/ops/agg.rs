@@ -9,7 +9,7 @@
 //!   flushed at every group boundary, so it only ever holds one
 //!   co-cluster's worth of groups.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use std::sync::Arc;
 
@@ -18,6 +18,7 @@ use bdcc_storage::{Column, DataType, Datum};
 use crate::batch::{Batch, ColMeta, OpSchema};
 use crate::error::{ExecError, Result};
 use crate::expr::Expr;
+use crate::hash::FxBuildHasher;
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
 
@@ -77,7 +78,7 @@ enum AccState {
     AvgF { sum: f64, c: f64, n: u64 },
     MinMax(Option<Datum>, bool /* is_min */),
     Count(u64),
-    Distinct(std::collections::HashSet<i64>),
+    Distinct(HashSet<i64, FxBuildHasher>),
 }
 
 impl AccState {
@@ -218,7 +219,11 @@ struct AggCore {
     agg_exprs: Vec<Expr>,
     agg_funcs: Vec<AggFunc>,
     agg_types: Vec<DataType>,
-    groups: HashMap<GroupKey, Vec<AccState>>,
+    /// Group states, hashed with the same multiplicative FxHash rounds as
+    /// the join index (SipHash is measurable overhead on this hot path);
+    /// output order comes from `order`, so the hasher never affects
+    /// results.
+    groups: HashMap<GroupKey, Vec<AccState>, FxBuildHasher>,
     /// Insertion order for deterministic output.
     order: Vec<GroupKey>,
 }
@@ -257,7 +262,7 @@ impl AggCore {
                 agg_exprs,
                 agg_funcs,
                 agg_types,
-                groups: HashMap::new(),
+                groups: HashMap::default(),
                 order: Vec::new(),
             },
             schema,

@@ -1,14 +1,16 @@
 //! Hash join (inner, left-outer, semi, anti) with optional residual
 //! predicate.
 //!
-//! The build side is the **right** child, fully materialized into a hash
-//! table keyed on integer join columns; its size is registered with the
-//! memory tracker — this is the memory the sandwich variant saves
-//! (Figure 3). Left-outer joins emit unmatched left rows with defaulted
-//! right columns plus a `__matched` 0/1 column (the engine has no NULLs;
+//! The build side is the **right** child, fully materialized and indexed
+//! by an allocation-free flat [`JoinIndex`] keyed on the integer join
+//! columns; its size is registered with the memory tracker — this is the
+//! memory the sandwich variant saves (Figure 3). Under a
+//! [`ParallelConfig`] the index build is hash-partitioned across workers
+//! (see [`crate::parallel::partition`]) with byte-identical results.
+//! Left-outer joins emit unmatched left rows with defaulted right columns
+//! plus a `__matched` 0/1 column (the engine has no NULLs;
 //! `COUNT(right.col)` compiles to `SUM(__matched)`).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use bdcc_storage::{Column, DataType};
@@ -16,8 +18,10 @@ use bdcc_storage::{Column, DataType};
 use crate::batch::{Batch, ColMeta, OpSchema};
 use crate::error::{ExecError, Result};
 use crate::expr::Expr;
+use crate::hash::JoinIndex;
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
+use crate::parallel::ParallelConfig;
 
 /// Join flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +41,7 @@ pub const MATCHED_COLUMN: &str = "__matched";
 /// Materialized build side.
 struct BuildSide {
     columns: Vec<Column>,
-    index: HashMap<Vec<i64>, Vec<u32>>,
+    index: JoinIndex,
     _mem: MemoryGuard,
 }
 
@@ -54,6 +58,9 @@ pub struct HashJoin {
     right_arity: usize,
     build: Option<BuildSide>,
     tracker: Arc<MemoryTracker>,
+    /// When set (threads > 1), big build sides are indexed with the
+    /// hash-partitioned parallel build.
+    parallel: Option<ParallelConfig>,
 }
 
 impl HashJoin {
@@ -107,7 +114,15 @@ impl HashJoin {
             right_arity,
             build: None,
             tracker,
+            parallel: None,
         })
+    }
+
+    /// Enable the hash-partitioned parallel index build (planner-installed
+    /// under a [`ParallelConfig`]; results stay byte-identical).
+    pub fn with_parallel(mut self, cfg: Option<ParallelConfig>) -> HashJoin {
+        self.parallel = cfg;
+        self
     }
 
     fn build_side(&mut self) -> Result<&BuildSide> {
@@ -121,22 +136,17 @@ impl HashJoin {
                     dst.append(src)?;
                 }
             }
-            let rows = columns.first().map(|c| c.len()).unwrap_or(0);
-            let mut index: HashMap<Vec<i64>, Vec<u32>> = HashMap::with_capacity(rows);
             let key_cols: Vec<&[i64]> = self
                 .right_keys
                 .iter()
                 .map(|&k| columns[k].as_i64())
                 .collect::<std::result::Result<_, _>>()?;
-            for row in 0..rows {
-                let key: Vec<i64> = key_cols.iter().map(|c| c[row]).collect();
-                index.entry(key).or_default().push(row as u32);
-            }
-            // Hash-table memory: materialized payload + per-entry overhead.
+            let index = JoinIndex::build(&key_cols, self.parallel.as_ref())?;
+            // Hash-table memory: materialized payload + the index's flat
+            // arrays (buckets, chains, packed keys, partition row ids).
             let payload: u64 =
                 columns.iter().map(|c| (c.len() as f64 * c.avg_width()) as u64).sum();
-            let overhead = rows as u64 * (8 * self.right_keys.len() as u64 + 24);
-            let mem = self.tracker.register(payload + overhead);
+            let mem = self.tracker.register(payload + index.estimated_bytes());
             self.build = Some(BuildSide { columns, index, _mem: mem });
         }
         Ok(self.build.as_ref().expect("just built"))
@@ -184,25 +194,23 @@ fn join_batch(
     right_arity: usize,
 ) -> Result<Option<Batch>> {
     let rows = left.rows();
-    // Candidate pairs.
+    // Candidate pairs (probe reuses one key buffer — no per-row allocs).
     let mut lidx: Vec<usize> = Vec::new();
-    let mut ridx: Vec<usize> = Vec::new();
+    let mut ridx: Vec<u32> = Vec::new();
     let mut key = Vec::with_capacity(left_key_cols.len());
     for row in 0..rows {
         key.clear();
         key.extend(left_key_cols.iter().map(|c| c[row]));
-        if let Some(matches) = build.index.get(&key) {
-            for &m in matches {
-                lidx.push(row);
-                ridx.push(m as usize);
-            }
-        }
+        build.index.for_each_match(&key, |m| {
+            lidx.push(row);
+            ridx.push(m);
+        });
     }
     // Assemble candidate pair batch (left ++ right) and apply residual.
-    let pass = |lidx: &mut Vec<usize>, ridx: &mut Vec<usize>| -> Result<Option<Batch>> {
+    let pass = |lidx: &mut Vec<usize>, ridx: &mut Vec<u32>| -> Result<Option<Batch>> {
         let mut cols: Vec<Column> = left.columns.iter().map(|c| c.gather(lidx)).collect();
         for rc in &build.columns {
-            cols.push(rc.gather(ridx));
+            cols.push(rc.gather_u32(ridx));
         }
         let pairs = Batch::new(cols);
         match residual {
@@ -424,6 +432,41 @@ mod tests {
         let out = collect(Box::new(j)).unwrap();
         // Orders 2 (bob) and 4 (no customer) survive.
         assert_eq!(out.columns[0].as_i64().unwrap(), &[2, 4]);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        // Tiny morsel budget forces the partitioned build even at this
+        // scale; every join flavor must match the serial output exactly.
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 1 };
+        for jt in [JoinType::Inner, JoinType::LeftOuter, JoinType::Semi, JoinType::Anti] {
+            let serial = collect(Box::new(
+                HashJoin::new(
+                    Box::new(orders()),
+                    Box::new(customers()),
+                    &[("o_custkey", "c_custkey")],
+                    jt,
+                    None,
+                    MemoryTracker::new(),
+                )
+                .unwrap(),
+            ))
+            .unwrap();
+            let parallel = collect(Box::new(
+                HashJoin::new(
+                    Box::new(orders()),
+                    Box::new(customers()),
+                    &[("o_custkey", "c_custkey")],
+                    jt,
+                    None,
+                    MemoryTracker::new(),
+                )
+                .unwrap()
+                .with_parallel(Some(cfg.clone())),
+            ))
+            .unwrap();
+            assert_eq!(serial, parallel, "{jt:?}");
+        }
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! Both inputs arrive *pre-grouped* on the shared dimension bits (the
 //! group-key columns appended by the BDCC scatter-scan, in the same
 //! negotiated major order on both sides). The join then merges group
-//! streams: groups with equal keys are hash-joined against each other; the
-//! hash table only ever holds **one group** of the build side, so memory is
-//! bounded by the largest co-cluster instead of the whole input — the
-//! effect Figure 3 measures.
+//! streams: groups with equal keys are hash-joined against each other
+//! through the flat allocation-free [`JoinIndex`]; the table only ever
+//! holds **one group** of the build side, so memory is bounded by the
+//! largest co-cluster instead of the whole input — the effect Figure 3
+//! measures. The group merge *is* the partition-wise short-circuit of the
+//! parallel join design: both sides are already co-partitioned on the
+//! dimension bits, so each group joins only against its peer group.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use bdcc_storage::Column;
@@ -17,6 +19,7 @@ use bdcc_storage::Column;
 use crate::batch::{Batch, OpSchema};
 use crate::error::{ExecError, Result};
 use crate::expr::Expr;
+use crate::hash::JoinIndex;
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
 
@@ -230,9 +233,11 @@ impl Operator for SandwichHashJoin {
                 std::cmp::Ordering::Equal => {
                     let (_, lrows) = self.lgroup.as_ref().expect("checked");
                     let (_, rrows) = self.rgroup.as_ref().expect("checked");
-                    // Build on the right group only — the sandwich.
+                    // Build on the right group only — the sandwich. Charge
+                    // the group payload plus the flat table join_groups is
+                    // about to build (same cost model as HashJoin's).
                     let bytes = rrows.estimated_bytes()
-                        + rrows.rows() as u64 * (8 * self.right_keys.len() as u64 + 24);
+                        + crate::hash::estimated_table_bytes(rrows.rows(), self.right_keys.len());
                     match &mut self.mem {
                         Some(m) => m.resize(bytes),
                         None => self.mem = Some(self.tracker.register(bytes)),
@@ -265,35 +270,30 @@ fn join_groups(
     right_kept: &[usize],
     residual: Option<&Expr>,
 ) -> Result<Batch> {
-    let rrows = right.rows();
-    let mut index: HashMap<Vec<i64>, Vec<u32>> = HashMap::with_capacity(rrows);
     let rkey_cols: Vec<&[i64]> = right_keys
         .iter()
         .map(|&k| right.columns[k].as_i64())
         .collect::<std::result::Result<_, _>>()?;
-    for row in 0..rrows {
-        index.entry(rkey_cols.iter().map(|c| c[row]).collect()).or_default().push(row as u32);
-    }
+    // One group at a time: the flat table is small, build it serially.
+    let index = JoinIndex::build(&rkey_cols, None)?;
     let lkey_cols: Vec<&[i64]> = left_keys
         .iter()
         .map(|&k| left.columns[k].as_i64())
         .collect::<std::result::Result<_, _>>()?;
-    let mut lidx = Vec::new();
-    let mut ridx = Vec::new();
+    let mut lidx: Vec<usize> = Vec::new();
+    let mut ridx: Vec<u32> = Vec::new();
     let mut key = Vec::with_capacity(left_keys.len());
     for row in 0..left.rows() {
         key.clear();
         key.extend(lkey_cols.iter().map(|c| c[row]));
-        if let Some(matches) = index.get(&key) {
-            for &m in matches {
-                lidx.push(row);
-                ridx.push(m as usize);
-            }
-        }
+        index.for_each_match(&key, |m| {
+            lidx.push(row);
+            ridx.push(m);
+        });
     }
     let mut cols: Vec<Column> = left.columns.iter().map(|c| c.gather(&lidx)).collect();
     for &i in right_kept {
-        cols.push(right.columns[i].gather(&ridx));
+        cols.push(right.columns[i].gather_u32(&ridx));
     }
     let out = Batch::new(cols);
     match residual {

@@ -84,19 +84,7 @@ impl Operator for Sort {
             let _mem = self.tracker.register(all.estimated_bytes());
             let n = all.rows();
             let mut perm: Vec<usize> = (0..n).collect();
-            // Extract sort key datums once (avoid per-comparison cloning of
-            // column access machinery).
-            let key_cols: Vec<&Column> = self.keys.iter().map(|&(i, _)| &all.columns[i]).collect();
-            perm.sort_by(|&a, &b| {
-                for (k, &(_, asc)) in self.keys.iter().enumerate() {
-                    let ord = cmp_at(key_cols[k], a, b);
-                    let ord = if asc { ord } else { ord.reverse() };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            perm.sort_by(|&a, &b| cmp_rows(&self.keys, &all, a, &all, b));
             if let Some(l) = self.limit {
                 perm.truncate(l);
             }
@@ -107,13 +95,36 @@ impl Operator for Sort {
     }
 }
 
-/// Compare two rows of one column without allocating datums for the common
-/// numeric cases.
-fn cmp_at(col: &Column, a: usize, b: usize) -> std::cmp::Ordering {
-    match col {
-        Column::I64 { values, .. } => values[a].cmp(&values[b]),
-        Column::F64(values) => values[a].total_cmp(&values[b]),
-        Column::Str(values) => values[a].cmp(&values[b]),
+/// Compare row `a` of batch `ba` with row `b` of batch `bb` under the
+/// resolved sort keys `(column index, ascending)` — **the** sort order of
+/// this engine. The serial sort, the parallel per-run sorts and the
+/// parallel k-way merge all call this one function, which is what keeps
+/// serial and parallel sort orders byte-identical by construction.
+pub(crate) fn cmp_rows(
+    keys: &[(usize, bool)],
+    ba: &Batch,
+    a: usize,
+    bb: &Batch,
+    b: usize,
+) -> std::cmp::Ordering {
+    for &(c, asc) in keys {
+        let ord = cmp_between(&ba.columns[c], a, &bb.columns[c], b);
+        let ord = if asc { ord } else { ord.reverse() };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Compare row `a` of `ca` with row `b` of `cb` (same type) without
+/// allocating datums.
+fn cmp_between(ca: &Column, a: usize, cb: &Column, b: usize) -> std::cmp::Ordering {
+    match (ca, cb) {
+        (Column::I64 { values: va, .. }, Column::I64 { values: vb, .. }) => va[a].cmp(&vb[b]),
+        (Column::F64(va), Column::F64(vb)) => va[a].total_cmp(&vb[b]),
+        (Column::Str(va), Column::Str(vb)) => va[a].cmp(&vb[b]),
+        _ => unreachable!("sort keys compare columns of one type"),
     }
 }
 

@@ -46,6 +46,11 @@ pub fn merge_partial_aggs(mut partials: Vec<PartialAgg>) -> Result<Batch> {
 /// Stable k-way merge of row streams that are already sorted by `cmp`
 /// (ties keep lower-stream-index rows first). Returns `(stream, row)`
 /// coordinates in output order.
+///
+/// A binary min-heap of stream cursors keeps each output row at
+/// `O(log k)` — with many runs (large sorts at small morsel sizes) a
+/// linear scan per row would make the merge quadratic-ish (`O(n·k)`) and
+/// slower than the serial sort it replaces.
 pub fn merge_sorted<C>(streams: &[Batch], cmp: C) -> Vec<(usize, usize)>
 where
     C: Fn(&Batch, usize, &Batch, usize) -> std::cmp::Ordering,
@@ -53,28 +58,47 @@ where
     let mut cursors: Vec<usize> = vec![0; streams.len()];
     let total: usize = streams.iter().map(|b| b.rows()).sum();
     let mut out = Vec::with_capacity(total);
-    for _ in 0..total {
-        let mut best: Option<usize> = None;
-        for (s, b) in streams.iter().enumerate() {
-            if cursors[s] >= b.rows() {
-                continue;
-            }
-            best = match best {
-                None => Some(s),
-                Some(bi) => {
-                    // Strictly-less wins; ties keep the earlier stream.
-                    if cmp(b, cursors[s], &streams[bi], cursors[bi]) == std::cmp::Ordering::Less {
-                        Some(s)
-                    } else {
-                        Some(bi)
-                    }
-                }
-            };
+    // Heap order: current-row comparison, ties by stream index — the
+    // stability contract.
+    let less = |a: usize, b: usize, cursors: &[usize]| -> bool {
+        match cmp(&streams[a], cursors[a], &streams[b], cursors[b]) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a < b,
         }
-        let s = best.expect("total counted");
+    };
+    let mut heap: Vec<usize> = (0..streams.len()).filter(|&s| streams[s].rows() > 0).collect();
+    let sift_down = |heap: &mut Vec<usize>, cursors: &[usize], mut i: usize| loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut best = i;
+        if l < heap.len() && less(heap[l], heap[best], cursors) {
+            best = l;
+        }
+        if r < heap.len() && less(heap[r], heap[best], cursors) {
+            best = r;
+        }
+        if best == i {
+            break;
+        }
+        heap.swap(i, best);
+        i = best;
+    };
+    for i in (0..heap.len() / 2).rev() {
+        sift_down(&mut heap, &cursors, i);
+    }
+    while let Some(&s) = heap.first() {
         out.push((s, cursors[s]));
         cursors[s] += 1;
+        if cursors[s] >= streams[s].rows() {
+            let last = heap.pop().expect("non-empty");
+            if heap.is_empty() {
+                break;
+            }
+            heap[0] = last;
+        }
+        sift_down(&mut heap, &cursors, 0);
     }
+    debug_assert_eq!(out.len(), total);
     out
 }
 

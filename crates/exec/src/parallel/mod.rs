@@ -39,8 +39,12 @@
 //!   sum and agree after [`canonical_rows`](crate::run::canonical_rows)
 //!   rounding;
 //! * sorted per-morsel streams merge stably with morsel-index
-//!   tie-breaking ([`merge::merge_sorted`]) — the contract for the
-//!   follow-on parallel sort.
+//!   tie-breaking ([`merge::merge_sorted`]) — the contract [`ParallelSort`]
+//!   uses to reproduce a serial stable sort of the concatenated input;
+//! * hash-join build rows partition by key hash in chunk order
+//!   ([`partition`]), so every partition's chains stay in ascending
+//!   build-row order and partitioned probes ([`crate::hash::JoinIndex`])
+//!   match the serial probe order exactly.
 //!
 //! The result: for every plan, parallel execution returns results
 //! identical to serial execution (verified for all 22 TPC-H queries under
@@ -50,9 +54,11 @@
 //!
 //! Parallelism is off by default — [`QueryContext::new`] plans exactly as
 //! before. [`QueryContext::with_parallel`] installs a [`ParallelConfig`];
-//! the planner then swaps eligible leaves for [`ParallelScan`] and
-//! eligible aggregates for [`ParallelAggregate`], leaving the rest of the
-//! operator tree serial.
+//! the planner then swaps eligible leaves for [`ParallelScan`], eligible
+//! aggregates for [`ParallelAggregate`], sorts for [`ParallelSort`], and
+//! hands the config to hash joins so big build sides use the
+//! hash-partitioned parallel build, leaving the rest of the operator tree
+//! serial.
 //!
 //! [`PlainScan`]: crate::ops::scan::PlainScan
 //! [`BdccScan`]: crate::ops::bdcc_scan::BdccScan
@@ -61,7 +67,9 @@
 
 pub mod merge;
 pub mod morsel;
+pub mod partition;
 pub mod pool;
+pub mod sort;
 
 use std::sync::Arc;
 
@@ -76,6 +84,7 @@ use crate::ops::transform::{Filter, Project};
 use crate::ops::{BoxedOp, Operator};
 
 pub use morsel::{Morsel, ScanBlueprint, ScanKind};
+pub use sort::ParallelSort;
 
 /// Default morsel size in rows (two MinMax blocks): small enough that a
 /// laptop-scale table yields many times more morsels than workers (the

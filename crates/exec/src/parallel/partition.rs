@@ -1,0 +1,109 @@
+//! Hash-partitioning build rows for the parallel join build.
+//!
+//! Workers consume morsel-sized chunks of the materialized build side and
+//! split each chunk's row ids by the key hash's top bits; the per-chunk
+//! partition lists then concatenate **in chunk order**, so every
+//! partition's row list is ascending — the same order-deterministic merge
+//! contract as the rest of [`crate::parallel`], and the property that
+//! keeps partitioned probes byte-identical to serial ones (chains built
+//! from ascending rows stay ascending).
+
+use crate::error::Result;
+use crate::hash::hash_row;
+use crate::parallel::{pool, ParallelConfig};
+
+/// Partition count for a worker count: the next power of two at or above
+/// `threads` (at least 2), so the top `bits` of the hash select a
+/// partition with no modulo.
+pub fn partition_bits_for(threads: usize) -> u32 {
+    threads.max(2).next_power_of_two().trailing_zeros()
+}
+
+/// Split all rows of `key_cols` into `2^bits` partitions by the top hash
+/// bits of their key. Chunks of `cfg.morsel_rows` rows are partitioned by
+/// workers concurrently; each returned partition lists its row ids in
+/// ascending order.
+pub fn hash_partition_rows(
+    key_cols: &[&[i64]],
+    bits: u32,
+    cfg: &ParallelConfig,
+) -> Result<Vec<Vec<u32>>> {
+    let nparts = 1usize << bits;
+    let rows = key_cols.first().map(|c| c.len()).unwrap_or(0);
+    let chunk = cfg.morsel_rows.max(1);
+    let starts: Vec<usize> = (0..rows).step_by(chunk).collect();
+    let per_chunk: Vec<Vec<Vec<u32>>> = pool::run_tasks(cfg.threads, starts.len(), |i| {
+        let lo = starts[i];
+        let hi = (lo + chunk).min(rows);
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+        for r in lo..hi {
+            let p = (hash_row(key_cols, r) >> (64 - bits)) as usize;
+            parts[p].push(r as u32);
+        }
+        Ok(parts)
+    })?;
+    // Ordered merge: chunk order == ascending row order per partition.
+    let mut merged: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+    for chunk_parts in per_chunk {
+        for (p, ids) in chunk_parts.into_iter().enumerate() {
+            merged[p].extend(ids);
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_tile_rows_in_ascending_order() {
+        let keys: Vec<i64> = (0..5000).map(|i| i * 37 % 211).collect();
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 256 };
+        let bits = partition_bits_for(cfg.threads);
+        let parts = hash_partition_rows(&[&keys], bits, &cfg).unwrap();
+        assert_eq!(parts.len(), 4);
+        let mut all: Vec<u32> = Vec::new();
+        for p in &parts {
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "partition rows must ascend");
+            all.extend(p);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..5000u32).collect::<Vec<_>>(), "partitions must tile all rows");
+    }
+
+    #[test]
+    fn equal_keys_land_in_one_partition() {
+        let keys: Vec<i64> = (0..1000).map(|i| i % 10).collect();
+        let cfg = ParallelConfig { threads: 8, morsel_rows: 64 };
+        let bits = partition_bits_for(cfg.threads);
+        let parts = hash_partition_rows(&[&keys], bits, &cfg).unwrap();
+        for k in 0..10i64 {
+            let holders: Vec<usize> = parts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.iter().any(|&r| keys[r as usize] == k))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holders.len(), 1, "key {k} split across partitions {holders:?}");
+        }
+    }
+
+    #[test]
+    fn partition_bits_round_up() {
+        assert_eq!(partition_bits_for(1), 1);
+        assert_eq!(partition_bits_for(2), 1);
+        assert_eq!(partition_bits_for(3), 2);
+        assert_eq!(partition_bits_for(4), 2);
+        assert_eq!(partition_bits_for(5), 3);
+        assert_eq!(partition_bits_for(8), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_partitions() {
+        let keys: Vec<i64> = vec![];
+        let cfg = ParallelConfig { threads: 2, morsel_rows: 16 };
+        let parts = hash_partition_rows(&[&keys], 1, &cfg).unwrap();
+        assert!(parts.iter().all(|p| p.is_empty()));
+    }
+}

@@ -38,7 +38,7 @@ use crate::ops::sort::{Limit, Sort};
 use crate::ops::transform::{Filter, Project};
 use crate::ops::BoxedOp;
 use crate::parallel::{
-    FragmentBlueprint, FragmentStep, ParallelAggregate, ParallelConfig, ParallelScan,
+    FragmentBlueprint, FragmentStep, ParallelAggregate, ParallelConfig, ParallelScan, ParallelSort,
     ScanBlueprint, ScanKind,
 };
 use crate::plan::{alias_column, FkSide, Node};
@@ -342,8 +342,22 @@ impl<'a> Planner<'a> {
             }
             Node::Sort { input, keys, limit } => {
                 let child = self.build(input, &[])?;
-                let op = Sort::new(child.op, keys, *limit, Arc::clone(&self.ctx.tracker))?;
-                Ok(PhysOut { op: Box::new(op), gk_cols: vec![] })
+                // Workers sort per-run, then a stable k-way merge with
+                // run-index tie-breaking reproduces the serial stable sort
+                // byte-for-byte.
+                let op: BoxedOp = match &self.ctx.parallel {
+                    Some(cfg) if cfg.threads > 1 => Box::new(ParallelSort::new(
+                        child.op,
+                        keys,
+                        *limit,
+                        cfg.clone(),
+                        Arc::clone(&self.ctx.tracker),
+                    )?),
+                    _ => {
+                        Box::new(Sort::new(child.op, keys, *limit, Arc::clone(&self.ctx.tracker))?)
+                    }
+                };
+                Ok(PhysOut { op, gk_cols: vec![] })
             }
             Node::Limit { input, n } => {
                 let child = self.build(input, &[])?;
@@ -620,6 +634,9 @@ impl<'a> Planner<'a> {
         }
         let lout = self.build(left, &left_req)?;
         let rout = self.build(right, &[])?;
+        // Under a parallel config the join's build side is indexed with
+        // the hash-partitioned parallel build (partitioned tables are
+        // registered with the memory tracker inside the operator).
         let j = HashJoin::new(
             lout.op,
             rout.op,
@@ -627,7 +644,8 @@ impl<'a> Planner<'a> {
             join_type,
             residual.clone(),
             Arc::clone(&self.ctx.tracker),
-        )?;
+        )?
+        .with_parallel(self.ctx.parallel.clone());
         Ok(PhysOut { op: Box::new(j), gk_cols: lout.gk_cols })
     }
 

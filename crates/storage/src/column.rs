@@ -117,15 +117,23 @@ impl Column {
 
     /// Gather rows by index into a new column. Indices must be in range.
     pub fn gather(&self, indices: &[usize]) -> Column {
+        self.gather_impl(indices.iter().copied())
+    }
+
+    /// Gather rows by `u32` index into a new column — the row-id width the
+    /// executor's join indexes and partition scatters use, saving a
+    /// per-match widening pass. Indices must be in range.
+    pub fn gather_u32(&self, indices: &[u32]) -> Column {
+        self.gather_impl(indices.iter().map(|&i| i as usize))
+    }
+
+    fn gather_impl<I: Iterator<Item = usize>>(&self, indices: I) -> Column {
         match self {
-            Column::I64 { values, logical } => Column::I64 {
-                values: indices.iter().map(|&i| values[i]).collect(),
-                logical: *logical,
-            },
-            Column::F64(values) => Column::F64(indices.iter().map(|&i| values[i]).collect()),
-            Column::Str(values) => {
-                Column::Str(indices.iter().map(|&i| values[i].clone()).collect())
+            Column::I64 { values, logical } => {
+                Column::I64 { values: indices.map(|i| values[i]).collect(), logical: *logical }
             }
+            Column::F64(values) => Column::F64(indices.map(|i| values[i]).collect()),
+            Column::Str(values) => Column::Str(indices.map(|i| values[i].clone()).collect()),
         }
     }
 
@@ -278,6 +286,15 @@ mod tests {
         let c = Column::from_i64(vec![10, 20, 30, 40]);
         assert_eq!(c.gather(&[3, 0, 0]), Column::from_i64(vec![40, 10, 10]));
         assert_eq!(c.filter(&[true, false, true, false]), Column::from_i64(vec![10, 30]));
+    }
+
+    #[test]
+    fn gather_u32_matches_gather() {
+        let c = Column::from_strings(vec!["a".into(), "b".into(), "c".into()]);
+        assert_eq!(c.gather_u32(&[2, 0, 2]), c.gather(&[2, 0, 2]));
+        let d = Column::from_dates(vec![5, 6]);
+        assert_eq!(d.gather_u32(&[1]).data_type(), DataType::Date);
+        assert_eq!(Column::from_f64(vec![1.5, 2.5]).gather_u32(&[1]), Column::from_f64(vec![2.5]));
     }
 
     #[test]

@@ -3,7 +3,13 @@
 //! execution and serial execution, for each of the three storage schemes.
 //! The morsel size is forced far below the defaults so that every table
 //! splits into many morsels and all the merge paths (ordered concat,
-//! partial-aggregate fold) actually run.
+//! partial-aggregate fold, partitioned join build, per-run sort + stable
+//! k-way merge) actually run: with threads > 1 the planner swaps every
+//! `Sort` for a `ParallelSort` and every big-enough hash-join build for
+//! the hash-partitioned parallel build.
+//!
+//! The worker count honours `BDCC_THREADS` (default 4) so CI can run the
+//! same suite at 1 and 4 threads in release mode.
 
 use std::sync::Arc;
 
@@ -11,6 +17,12 @@ use bdcc::prelude::*;
 use bdcc_exec::ops::bdcc_scan::GroupSpec;
 use bdcc_exec::parallel::morsel::{split_blocks, split_groups, Morsel};
 use bdcc_exec::{ParallelConfig, QueryContext};
+
+/// Worker count under test: `BDCC_THREADS`, default 4 (1 exercises the
+/// serial planning paths end to end).
+fn test_threads() -> usize {
+    std::env::var("BDCC_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
 
 fn schemes() -> (f64, Vec<Arc<SchemeDb>>) {
     let sf = 0.002;
@@ -49,8 +61,9 @@ fn rows_equivalent(a: &[String], b: &[String]) -> bool {
 #[test]
 fn all_queries_parallel_equals_serial_on_all_schemes() {
     let (sf, sdbs) = schemes();
-    // 256-row morsels: even SF 0.002 tables split into dozens of morsels.
-    let par_cfg = ParallelConfig { threads: 4, morsel_rows: 256 };
+    // 256-row morsels: even SF 0.002 tables split into dozens of morsels,
+    // and every join build side beyond 256 rows goes partitioned.
+    let par_cfg = ParallelConfig { threads: test_threads(), morsel_rows: 256 };
     let mut failures = Vec::new();
     for q in all_queries() {
         for sdb in &sdbs {
@@ -86,6 +99,38 @@ fn all_queries_parallel_equals_serial_on_all_schemes() {
         }
     }
     assert!(failures.is_empty(), "parallel/serial disagreement:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn tiny_morsels_force_partitioned_joins_and_many_sort_runs() {
+    // 32-row morsels push essentially every hash-join build through the
+    // partitioned path and split every sort into many runs; join- and
+    // sort-heavy queries must still match serial execution exactly.
+    let (sf, sdbs) = schemes();
+    let par_cfg = ParallelConfig { threads: test_threads().max(2), morsel_rows: 32 };
+    let heavy = [2usize, 3, 10, 13, 18, 21];
+    let mut failures = Vec::new();
+    for q in all_queries().into_iter().filter(|q| heavy.contains(&q.id)) {
+        for sdb in &sdbs {
+            let serial = (q.run)(&QueryCtx::new(QueryContext::new(Arc::clone(sdb)), sf));
+            let parallel = (q.run)(&QueryCtx::new(
+                QueryContext::with_parallel(Arc::clone(sdb), par_cfg.clone()),
+                sf,
+            ));
+            match (serial, parallel) {
+                (Ok(s), Ok(p)) => {
+                    let (s, p) = (canonical_rows(&s), canonical_rows(&p));
+                    if !rows_equivalent(&s, &p) {
+                        failures.push(format!("{} on {}", q.name, sdb.scheme.name()));
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    failures.push(format!("{} on {}: {e}", q.name, sdb.scheme.name()))
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "tiny-morsel disagreement: {}", failures.join(", "));
 }
 
 #[test]
