@@ -235,6 +235,23 @@ impl JoinTable {
         }
     }
 
+    /// Does any build row carry `key` (pre-hashed to `h`)? Stops at the
+    /// first chain hit — the Semi/Anti probe fast path, which needs only
+    /// existence, not the match list.
+    #[inline]
+    pub fn contains(&self, h: u64, key: &[i64]) -> bool {
+        let mut e = self.buckets[(h & self.mask) as usize];
+        while e != EMPTY {
+            let i = e as usize;
+            let base = i * self.key_width;
+            if &self.keys[base..base + self.key_width] == key {
+                return true;
+            }
+            e = self.next[i];
+        }
+        false
+    }
+
     /// Bytes held by the flat arrays (memory-tracker accounting).
     pub fn estimated_bytes(&self) -> u64 {
         (self.buckets.len() * 4
@@ -297,18 +314,102 @@ impl JoinIndex {
         }
     }
 
+    /// The table owning hash `h`: the partition the build scattered `h`'s
+    /// keys into (same routing as [`partition::partition_of`], which maps
+    /// the unpartitioned case to the sole table — a probe touches exactly
+    /// one partition, so concurrent probe morsels never contend).
+    #[inline]
+    fn table_for(&self, h: u64) -> &JoinTable {
+        &self.tables[partition::partition_of(h, self.partition_bits)]
+    }
+
     /// Call `f` with every build row whose key equals `key`, in ascending
     /// build-row order.
     #[inline]
     pub fn for_each_match<F: FnMut(u32)>(&self, key: &[i64], mut f: F) {
         debug_assert_eq!(key.len(), self.key_width);
         let h = hash_key(key);
-        let t = if self.partition_bits == 0 {
-            &self.tables[0]
-        } else {
-            &self.tables[(h >> (64 - self.partition_bits)) as usize]
-        };
-        t.probe(h, key, &mut f);
+        self.table_for(h).probe(h, key, &mut f);
+    }
+
+    /// Does any build row carry `key`? First-hit short-circuit — the
+    /// existence probe Semi/Anti joins without a residual use.
+    #[inline]
+    pub fn has_match(&self, key: &[i64]) -> bool {
+        debug_assert_eq!(key.len(), self.key_width);
+        let h = hash_key(key);
+        self.table_for(h).contains(h, key)
+    }
+
+    /// Collect every `(probe row, build row)` match pair for rows
+    /// `range` of the probe key columns, in probe-row order (build rows
+    /// ascending within a probe row) — the order a serial probe loop
+    /// yields. One reusable key buffer; no other allocations beyond the
+    /// output lists.
+    pub fn probe_pairs(
+        &self,
+        key_cols: &[&[i64]],
+        range: std::ops::Range<usize>,
+        lidx: &mut Vec<usize>,
+        ridx: &mut Vec<u32>,
+    ) {
+        let mut key = Vec::with_capacity(key_cols.len());
+        for row in range {
+            key.clear();
+            key.extend(key_cols.iter().map(|c| c[row]));
+            self.for_each_match(&key, |m| {
+                lidx.push(row);
+                ridx.push(m);
+            });
+        }
+    }
+
+    /// Existence-only sibling of [`probe_pairs`](Self::probe_pairs):
+    /// append to `lidx` every probe row in `range` with at least one
+    /// match (first-hit short-circuit per row, no pair lists) — the
+    /// Semi/Anti probe kernel.
+    pub fn probe_exists(
+        &self,
+        key_cols: &[&[i64]],
+        range: std::ops::Range<usize>,
+        lidx: &mut Vec<usize>,
+    ) {
+        let mut key = Vec::with_capacity(key_cols.len());
+        for row in range {
+            key.clear();
+            key.extend(key_cols.iter().map(|c| c[row]));
+            if self.has_match(&key) {
+                lidx.push(row);
+            }
+        }
+    }
+
+    /// [`probe_pairs`](Self::probe_pairs) over all `rows`, fanned out to
+    /// workers in morsel-sized row ranges when a parallel config makes the
+    /// input worth splitting; per-morsel match lists concatenate in morsel
+    /// order, so the result is byte-identical to the serial probe.
+    pub fn probe_pairs_parallel(
+        &self,
+        key_cols: &[&[i64]],
+        rows: usize,
+        parallel: Option<&ParallelConfig>,
+    ) -> Result<(Vec<usize>, Vec<u32>)> {
+        match parallel {
+            Some(cfg) if cfg.worth_splitting(rows) => {
+                let ranges = crate::parallel::morsel::split_rows(rows, cfg.morsel_rows);
+                let per = pool::run_tasks(cfg.threads, ranges.len(), |i| {
+                    let (mut l, mut r) = (Vec::new(), Vec::new());
+                    self.probe_pairs(key_cols, ranges[i].clone(), &mut l, &mut r);
+                    Ok((l, r))
+                })?;
+                Ok(crate::parallel::merge::concat_match_lists(per))
+            }
+            _ => {
+                let (mut l, mut r) = (Vec::new(), Vec::new());
+                self.probe_pairs(key_cols, 0..rows, &mut l, &mut r);
+                Ok((l, r))
+            }
+        }
     }
 
     /// Total entries across partitions (== build rows).
@@ -412,6 +513,38 @@ mod tests {
         let cfg = ParallelConfig { threads: 1, morsel_rows: 16 };
         let idx = JoinIndex::build(&[&keys], Some(&cfg)).unwrap();
         assert_eq!(idx.partition_count(), 1);
+    }
+
+    #[test]
+    fn has_match_agrees_with_for_each_match() {
+        let keys: Vec<i64> = (0..500).map(|i| i % 37).collect();
+        let idx = JoinIndex::build(&[&keys], None).unwrap();
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 64 };
+        let part = JoinIndex::build(&[&keys], Some(&cfg)).unwrap();
+        for k in -5..45 {
+            let hits = !matches(&idx, &[k]).is_empty();
+            assert_eq!(idx.has_match(&[k]), hits, "serial key {k}");
+            assert_eq!(part.has_match(&[k]), hits, "partitioned key {k}");
+        }
+    }
+
+    #[test]
+    fn probe_pairs_parallel_is_byte_identical_to_serial() {
+        let build_keys: Vec<i64> = (0..3000).map(|i| i % 101).collect();
+        let probe_keys: Vec<i64> = (0..5000).map(|i| (i * 7) % 150).collect();
+        let idx = JoinIndex::build(&[&build_keys], None).unwrap();
+        let serial = idx.probe_pairs_parallel(&[&probe_keys], probe_keys.len(), None).unwrap();
+        for threads in [2, 4] {
+            let cfg = ParallelConfig { threads, morsel_rows: 128 };
+            let par =
+                idx.probe_pairs_parallel(&[&probe_keys], probe_keys.len(), Some(&cfg)).unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        // And a partitioned index probed in parallel morsels.
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 128 };
+        let part = JoinIndex::build(&[&build_keys], Some(&cfg)).unwrap();
+        let par = part.probe_pairs_parallel(&[&probe_keys], probe_keys.len(), Some(&cfg)).unwrap();
+        assert_eq!(serial, par, "partitioned index, parallel probe");
     }
 
     #[test]

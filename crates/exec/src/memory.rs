@@ -5,6 +5,16 @@
 //! and aggregation hash tables. Operators register their materializations
 //! with a shared [`MemoryTracker`]; the tracker keeps the running total and
 //! the peak, which is what the figure reports.
+//!
+//! The tracker is thread-shared (atomics behind an `Arc`): streaming
+//! parallel operators register from *worker* threads and release from the
+//! *consumer* — a [`ParallelScan`](crate::parallel::ParallelScan) worker
+//! registers each morsel's batches as it publishes them into the reorder
+//! buffer and hands the [`MemoryGuard`] across the channel, so the guard
+//! drops (and the bytes release) only once the consumer moves past the
+//! morsel. With the scan's bounded in-flight cap, tracked peak for a scan
+//! is O(threads × morsel) rather than O(table), which is exactly what
+//! `tests/parallel_equivalence.rs` asserts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

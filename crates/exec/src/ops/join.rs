@@ -6,11 +6,18 @@
 //! columns; its size is registered with the memory tracker — this is the
 //! memory the sandwich variant saves (Figure 3). Under a
 //! [`ParallelConfig`] the index build is hash-partitioned across workers
-//! (see [`crate::parallel::partition`]) with byte-identical results.
+//! (see [`crate::parallel::partition`]) and the **probe** fans out too:
+//! rounds of left batches split into row-range probe morsels, workers run
+//! the probe kernel over the shared immutable index, and per-morsel match
+//! lists concatenate in morsel order — both byte-identical to serial.
+//! Semi/Anti probes without a residual use a first-hit existence probe
+//! and never gather pair columns.
 //! Left-outer joins emit unmatched left rows with defaulted right columns
 //! plus a `__matched` 0/1 column (the engine has no NULLs;
 //! `COUNT(right.col)` compiles to `SUM(__matched)`).
 
+use std::collections::VecDeque;
+use std::ops::Range;
 use std::sync::Arc;
 
 use bdcc_storage::{Column, DataType};
@@ -21,7 +28,8 @@ use crate::expr::Expr;
 use crate::hash::JoinIndex;
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
-use crate::parallel::ParallelConfig;
+use crate::parallel::morsel::split_rows;
+use crate::parallel::{merge, pool, ParallelConfig};
 
 /// Join flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,8 +67,12 @@ pub struct HashJoin {
     build: Option<BuildSide>,
     tracker: Arc<MemoryTracker>,
     /// When set (threads > 1), big build sides are indexed with the
-    /// hash-partitioned parallel build.
+    /// hash-partitioned parallel build and big probe rounds fan out as
+    /// probe morsels across workers.
     parallel: Option<ParallelConfig>,
+    /// Probed-but-unemitted output batches (a parallel probe round
+    /// produces one output batch per probed left batch).
+    out: VecDeque<Batch>,
 }
 
 impl HashJoin {
@@ -115,11 +127,13 @@ impl HashJoin {
             build: None,
             tracker,
             parallel: None,
+            out: VecDeque::new(),
         })
     }
 
-    /// Enable the hash-partitioned parallel index build (planner-installed
-    /// under a [`ParallelConfig`]; results stay byte-identical).
+    /// Enable the hash-partitioned parallel index build and the
+    /// morsel-parallel probe (planner-installed under a
+    /// [`ParallelConfig`]; results stay byte-identical).
     pub fn with_parallel(mut self, cfg: Option<ParallelConfig>) -> HashJoin {
         self.parallel = cfg;
         self
@@ -153,6 +167,114 @@ impl HashJoin {
     }
 }
 
+impl HashJoin {
+    /// Pull the next round of probe batches from the left child: exactly
+    /// one batch for a serial probe (the unchanged one-batch-at-a-time
+    /// pipeline), or roughly `threads × morsel_rows` rows for a parallel
+    /// probe — enough work for the fan-out while keeping probe-side
+    /// buffering O(threads × morsel).
+    fn fill_round(&mut self) -> Result<Vec<Batch>> {
+        let target = match &self.parallel {
+            Some(cfg) if cfg.threads > 1 => cfg.threads * cfg.morsel_rows,
+            _ => 0,
+        };
+        let mut round = Vec::new();
+        let mut rows = 0usize;
+        while let Some(b) = self.left.next()? {
+            rows += b.rows();
+            round.push(b);
+            if rows >= target.max(1) {
+                break;
+            }
+        }
+        Ok(round)
+    }
+
+    /// Probe one round — serially batch-at-a-time, or (for a big-enough
+    /// round under a parallel config) fanned out as `(batch, row range)`
+    /// probe morsels. Per-morsel match lists concatenate in morsel order
+    /// before assembly, so each batch's output is byte-identical to the
+    /// serial probe's.
+    fn probe_round(&self, round: &[Batch]) -> Result<Vec<Batch>> {
+        let build = self.build.as_ref().expect("built");
+        let total: usize = round.iter().map(|b| b.rows()).sum();
+        let fan_out = match &self.parallel {
+            Some(cfg) if cfg.worth_splitting(total) => Some(cfg),
+            _ => None,
+        };
+        let Some(cfg) = fan_out else {
+            return round
+                .iter()
+                .map(|batch| {
+                    let (lidx, ridx) = probe_range(
+                        batch,
+                        build,
+                        &self.left_keys,
+                        self.join_type,
+                        self.residual.as_ref(),
+                        0..batch.rows(),
+                    )?;
+                    finish_batch(batch, build, self.join_type, self.right_arity, &lidx, &ridx)
+                })
+                .collect();
+        };
+        // Batch-major (batch, row range) probe pieces, coalesced into
+        // tasks of roughly one morsel of rows: a run of tiny batches (a
+        // selective filter upstream) shares one task instead of paying a
+        // queue op and a fan-out slot per batch.
+        let mut tasks: Vec<Vec<(usize, Range<usize>)>> = Vec::new();
+        let mut cur: Vec<(usize, Range<usize>)> = Vec::new();
+        let mut cur_rows = 0usize;
+        for (bi, batch) in round.iter().enumerate() {
+            for r in split_rows(batch.rows(), cfg.morsel_rows) {
+                cur_rows += r.len();
+                cur.push((bi, r));
+                if cur_rows >= cfg.morsel_rows {
+                    tasks.push(std::mem::take(&mut cur));
+                    cur_rows = 0;
+                }
+            }
+        }
+        if !cur.is_empty() {
+            tasks.push(cur);
+        }
+        // Capture only `Sync` plan data, not `self` (the child operators
+        // are not shareable).
+        let (left_keys, join_type) = (&self.left_keys, self.join_type);
+        let residual = self.residual.as_ref();
+        let per: Vec<Vec<ProbePiece>> = pool::run_tasks(cfg.threads, tasks.len(), |t| {
+            tasks[t]
+                .iter()
+                .map(|(bi, range)| {
+                    let lists = probe_range(
+                        &round[*bi],
+                        build,
+                        left_keys,
+                        join_type,
+                        residual,
+                        range.clone(),
+                    )?;
+                    Ok((*bi, lists))
+                })
+                .collect()
+        })?;
+        // Pieces flatten back in batch-major, range-ascending order
+        // whatever the task boundaries were; group them per batch and
+        // assemble — identical to the serial probe of that batch.
+        let mut pieces = per.into_iter().flatten().peekable();
+        let mut outs = Vec::with_capacity(round.len());
+        for (bi, batch) in round.iter().enumerate() {
+            let mut lists = Vec::new();
+            while pieces.peek().is_some_and(|(pbi, _)| *pbi == bi) {
+                lists.push(pieces.next().expect("peeked").1);
+            }
+            let (lidx, ridx) = merge::concat_match_lists(lists);
+            outs.push(finish_batch(batch, build, self.join_type, self.right_arity, &lidx, &ridx)?);
+        }
+        Ok(outs)
+    }
+}
+
 impl Operator for HashJoin {
     fn schema(&self) -> &OpSchema {
         &self.schema
@@ -160,105 +282,125 @@ impl Operator for HashJoin {
 
     fn next(&mut self) -> Result<Option<Batch>> {
         self.build_side()?;
-        while let Some(batch) = self.left.next()? {
-            let build = self.build.as_ref().expect("built");
-            let key_cols: Vec<&[i64]> = self
-                .left_keys
-                .iter()
-                .map(|&k| batch.columns[k].as_i64())
-                .collect::<std::result::Result<_, _>>()?;
-            let out = join_batch(
-                &batch,
-                build,
-                &key_cols,
-                self.join_type,
-                self.residual.as_ref(),
-                self.right_arity,
-            )?;
-            if let Some(out) = out {
-                if out.rows() > 0 {
-                    return Ok(Some(out));
+        loop {
+            while let Some(b) = self.out.pop_front() {
+                if b.rows() > 0 {
+                    return Ok(Some(b));
                 }
             }
+            let round = self.fill_round()?;
+            if round.is_empty() {
+                return Ok(None);
+            }
+            let outs = self.probe_round(&round)?;
+            self.out.extend(outs);
         }
-        Ok(None)
     }
 }
 
-fn join_batch(
+/// One probe piece: the originating batch index in the round plus the
+/// piece's (post-residual) match lists.
+type ProbePiece = (usize, (Vec<usize>, Vec<u32>));
+
+/// Do we need full `(left, right)` pair lists, or only per-row existence?
+/// Semi/Anti without a residual only ask *whether* a row matches.
+fn needs_pairs(join_type: JoinType, residual: Option<&Expr>) -> bool {
+    !matches!(join_type, JoinType::Semi | JoinType::Anti) || residual.is_some()
+}
+
+/// Probe rows `range` of `left` against the build index and return the
+/// match lists with the residual already applied — the per-morsel probe
+/// kernel (also the whole-batch kernel when `range` spans the batch).
+///
+/// Semi/Anti without a residual take the existence fast path: a first-hit
+/// [`JoinIndex::has_match`] per row, no pair lists and **no column
+/// gathers** — `ridx` comes back empty and `lidx` lists the matched rows.
+fn probe_range(
     left: &Batch,
     build: &BuildSide,
-    left_key_cols: &[&[i64]],
+    left_keys: &[usize],
     join_type: JoinType,
     residual: Option<&Expr>,
-    right_arity: usize,
-) -> Result<Option<Batch>> {
-    let rows = left.rows();
-    // Candidate pairs (probe reuses one key buffer — no per-row allocs).
+    range: Range<usize>,
+) -> Result<(Vec<usize>, Vec<u32>)> {
+    let key_cols: Vec<&[i64]> = left_keys
+        .iter()
+        .map(|&k| left.columns[k].as_i64())
+        .collect::<std::result::Result<_, _>>()?;
+    if !needs_pairs(join_type, residual) {
+        let mut lidx = Vec::new();
+        build.index.probe_exists(&key_cols, range, &mut lidx);
+        return Ok((lidx, Vec::new()));
+    }
     let mut lidx: Vec<usize> = Vec::new();
     let mut ridx: Vec<u32> = Vec::new();
-    let mut key = Vec::with_capacity(left_key_cols.len());
-    for row in 0..rows {
-        key.clear();
-        key.extend(left_key_cols.iter().map(|c| c[row]));
-        build.index.for_each_match(&key, |m| {
-            lidx.push(row);
-            ridx.push(m);
+    build.index.probe_pairs(&key_cols, range, &mut lidx, &mut ridx);
+    if let Some(filter) = residual {
+        // Evaluate the residual over the candidate pairs of this morsel
+        // only; survivors keep their (ascending) probe order.
+        let mut cols: Vec<Column> = left.columns.iter().map(|c| c.gather(&lidx)).collect();
+        for rc in &build.columns {
+            cols.push(rc.gather_u32(&ridx));
+        }
+        let keep = filter.eval_bool(&Batch::new(cols))?;
+        let mut k = 0;
+        lidx.retain(|_| {
+            let r = keep[k];
+            k += 1;
+            r
+        });
+        let mut k = 0;
+        ridx.retain(|_| {
+            let r = keep[k];
+            k += 1;
+            r
         });
     }
-    // Assemble candidate pair batch (left ++ right) and apply residual.
-    let pass = |lidx: &mut Vec<usize>, ridx: &mut Vec<u32>| -> Result<Option<Batch>> {
+    Ok((lidx, ridx))
+}
+
+/// Assemble a left batch's output from its (post-residual) match lists.
+/// Semi/Anti never gather pair columns — the match list alone decides
+/// which left rows survive.
+fn finish_batch(
+    left: &Batch,
+    build: &BuildSide,
+    join_type: JoinType,
+    right_arity: usize,
+    lidx: &[usize],
+    ridx: &[u32],
+) -> Result<Batch> {
+    let rows = left.rows();
+    let pair_cols = |lidx: &[usize], ridx: &[u32]| -> Vec<Column> {
         let mut cols: Vec<Column> = left.columns.iter().map(|c| c.gather(lidx)).collect();
         for rc in &build.columns {
             cols.push(rc.gather_u32(ridx));
         }
-        let pairs = Batch::new(cols);
-        match residual {
-            None => Ok(Some(pairs)),
-            Some(filter) => {
-                let keep = filter.eval_bool(&pairs)?;
-                let mut k = 0;
-                lidx.retain(|_| {
-                    let r = keep[k];
-                    k += 1;
-                    r
-                });
-                let mut k = 0;
-                ridx.retain(|_| {
-                    let r = keep[k];
-                    k += 1;
-                    r
-                });
-                Ok(Some(pairs.filter(&keep)))
-            }
-        }
+        cols
     };
     match join_type {
-        JoinType::Inner => pass(&mut lidx, &mut ridx),
+        JoinType::Inner => Ok(Batch::new(pair_cols(lidx, ridx))),
         JoinType::Semi | JoinType::Anti => {
-            pass(&mut lidx, &mut ridx)?;
             let mut matched = vec![false; rows];
-            for &l in &lidx {
+            for &l in lidx {
                 matched[l] = true;
             }
             let keep: Vec<bool> = match join_type {
                 JoinType::Semi => matched,
                 _ => matched.iter().map(|&m| !m).collect(),
             };
-            Ok(Some(left.filter(&keep)))
+            Ok(left.filter(&keep))
         }
         JoinType::LeftOuter => {
-            let inner = pass(&mut lidx, &mut ridx)?.expect("inner pairs");
+            // Matched pairs with flag 1.
+            let mut cols = pair_cols(lidx, ridx);
+            cols.push(Column::from_i64(vec![1; lidx.len()]));
+            let mut out = Batch::new(cols);
             let mut matched = vec![false; rows];
-            for &l in &lidx {
+            for &l in lidx {
                 matched[l] = true;
             }
             let unmatched: Vec<usize> = (0..rows).filter(|&r| !matched[r]).collect();
-            // Matched pairs with flag 1.
-            let mut cols = inner.columns;
-            let matched_rows = cols.first().map(|c| c.len()).unwrap_or(0);
-            cols.push(Column::from_i64(vec![1; matched_rows]));
-            let mut out = Batch::new(cols);
             // Unmatched left rows with defaulted right columns and flag 0.
             if !unmatched.is_empty() {
                 let mut ucols: Vec<Column> =
@@ -272,7 +414,7 @@ fn join_batch(
                     dst.append(src)?;
                 }
             }
-            Ok(Some(out))
+            Ok(out)
         }
     }
 }
@@ -466,6 +608,80 @@ mod tests {
             ))
             .unwrap();
             assert_eq!(serial, parallel, "{jt:?}");
+        }
+    }
+
+    /// Multi-batch chunked source for probe-round tests.
+    struct Chunked {
+        schema: OpSchema,
+        batches: std::vec::IntoIter<Batch>,
+    }
+
+    impl Chunked {
+        fn new(rows: &[(i64, i64)], names: (&str, &str), chunk: usize) -> Chunked {
+            let schema =
+                vec![ColMeta::new(names.0, DataType::Int), ColMeta::new(names.1, DataType::Int)];
+            let batches: Vec<Batch> = rows
+                .chunks(chunk)
+                .map(|c| {
+                    Batch::new(vec![
+                        Column::from_i64(c.iter().map(|r| r.0).collect()),
+                        Column::from_i64(c.iter().map(|r| r.1).collect()),
+                    ])
+                })
+                .collect();
+            Chunked { schema, batches: batches.into_iter() }
+        }
+    }
+
+    impl Operator for Chunked {
+        fn schema(&self) -> &OpSchema {
+            &self.schema
+        }
+        fn next(&mut self) -> Result<Option<Batch>> {
+            Ok(self.batches.next())
+        }
+    }
+
+    #[test]
+    fn parallel_probe_rounds_are_byte_identical() {
+        // Many small left batches force multi-batch probe rounds, and
+        // morsel_rows 8 splits batches into several probe morsels; with
+        // and without a residual, every flavor must equal serial exactly.
+        let left: Vec<(i64, i64)> = (0..200).map(|i| (i % 23, i)).collect();
+        let right: Vec<(i64, i64)> = (0..60).map(|i| (i % 31, 1000 + i)).collect();
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 8 };
+        for jt in [JoinType::Inner, JoinType::LeftOuter, JoinType::Semi, JoinType::Anti] {
+            for residual in [false, true] {
+                let res =
+                    residual.then(|| Expr::col("lv").ge(Expr::col("rv").sub(Expr::lit(1020))));
+                let serial = collect(Box::new(
+                    HashJoin::new(
+                        Box::new(Chunked::new(&left, ("lk", "lv"), 13)),
+                        Box::new(Chunked::new(&right, ("rk", "rv"), 7)),
+                        &[("lk", "rk")],
+                        jt,
+                        res.clone(),
+                        MemoryTracker::new(),
+                    )
+                    .unwrap(),
+                ))
+                .unwrap();
+                let parallel = collect(Box::new(
+                    HashJoin::new(
+                        Box::new(Chunked::new(&left, ("lk", "lv"), 13)),
+                        Box::new(Chunked::new(&right, ("rk", "rv"), 7)),
+                        &[("lk", "rk")],
+                        jt,
+                        res,
+                        MemoryTracker::new(),
+                    )
+                    .unwrap()
+                    .with_parallel(Some(cfg.clone())),
+                ))
+                .unwrap();
+                assert_eq!(serial, parallel, "{jt:?} residual={residual}");
+            }
         }
     }
 

@@ -10,7 +10,11 @@
 //! largest co-cluster instead of the whole input — the effect Figure 3
 //! measures. The group merge *is* the partition-wise short-circuit of the
 //! parallel join design: both sides are already co-partitioned on the
-//! dimension bits, so each group joins only against its peer group.
+//! dimension bits, so each group joins only against its peer group, and
+//! under a [`ParallelConfig`] it decides *per group* which work fans out:
+//! skipped groups cost nothing, small groups stay serial, and only
+//! oversized groups split their build into hash partitions and their
+//! probe into row-range morsels (byte-identical to the serial pass).
 
 use std::sync::Arc;
 
@@ -22,6 +26,7 @@ use crate::expr::Expr;
 use crate::hash::JoinIndex;
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
+use crate::parallel::ParallelConfig;
 
 /// Streams `(group key tuple, group rows)` from an operator whose output is
 /// grouped by the given key columns (consecutive equal-key rows form a
@@ -130,6 +135,9 @@ pub struct SandwichHashJoin {
     /// Right column indices kept in the output (group keys dropped).
     right_kept: Vec<usize>,
     tracker: Arc<MemoryTracker>,
+    /// When set (threads > 1), oversized groups build their index
+    /// hash-partitioned and probe in row-range morsels.
+    parallel: Option<ParallelConfig>,
     mem: Option<MemoryGuard>,
     /// Largest per-group build size seen (diagnostics).
     pub max_group_build_rows: usize,
@@ -189,6 +197,7 @@ impl SandwichHashJoin {
             schema,
             right_kept,
             tracker,
+            parallel: None,
             mem: None,
             max_group_build_rows: 0,
             lgroup: None,
@@ -196,6 +205,14 @@ impl SandwichHashJoin {
             started: false,
             done: false,
         })
+    }
+
+    /// Enable per-group parallel build and probe for oversized groups
+    /// (planner-installed under a [`ParallelConfig`]; results stay
+    /// byte-identical).
+    pub fn with_parallel(mut self, cfg: Option<ParallelConfig>) -> SandwichHashJoin {
+        self.parallel = cfg;
+        self
     }
 }
 
@@ -250,6 +267,7 @@ impl Operator for SandwichHashJoin {
                         &self.right_keys,
                         &self.right_kept,
                         self.residual.as_ref(),
+                        self.parallel.as_ref(),
                     )?;
                     self.lgroup = self.left.next_group()?;
                     self.rgroup = self.right.next_group()?;
@@ -262,6 +280,7 @@ impl Operator for SandwichHashJoin {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn join_groups(
     left: &Batch,
     right: &Batch,
@@ -269,28 +288,22 @@ fn join_groups(
     right_keys: &[usize],
     right_kept: &[usize],
     residual: Option<&Expr>,
+    parallel: Option<&ParallelConfig>,
 ) -> Result<Batch> {
     let rkey_cols: Vec<&[i64]> = right_keys
         .iter()
         .map(|&k| right.columns[k].as_i64())
         .collect::<std::result::Result<_, _>>()?;
-    // One group at a time: the flat table is small, build it serially.
-    let index = JoinIndex::build(&rkey_cols, None)?;
+    // One group at a time: most groups are far below a morsel and build
+    // serially; `JoinIndex::build` partitions only an oversized group.
+    let index = JoinIndex::build(&rkey_cols, parallel)?;
     let lkey_cols: Vec<&[i64]> = left_keys
         .iter()
         .map(|&k| left.columns[k].as_i64())
         .collect::<std::result::Result<_, _>>()?;
-    let mut lidx: Vec<usize> = Vec::new();
-    let mut ridx: Vec<u32> = Vec::new();
-    let mut key = Vec::with_capacity(left_keys.len());
-    for row in 0..left.rows() {
-        key.clear();
-        key.extend(lkey_cols.iter().map(|c| c[row]));
-        index.for_each_match(&key, |m| {
-            lidx.push(row);
-            ridx.push(m);
-        });
-    }
+    // Same per-group gate on the probe side: only a probe group bigger
+    // than a morsel fans out to row-range probe morsels.
+    let (lidx, ridx) = index.probe_pairs_parallel(&lkey_cols, left.rows(), parallel)?;
     let mut cols: Vec<Column> = left.columns.iter().map(|c| c.gather(&lidx)).collect();
     for &i in right_kept {
         cols.push(right.columns[i].gather_u32(&ridx));

@@ -25,6 +25,25 @@ pub fn concat_ordered(per_morsel: Vec<Vec<Batch>>) -> Vec<Batch> {
     per_morsel.into_iter().flatten().collect()
 }
 
+/// Concatenate per-morsel join match lists (`(probe row, build row)`
+/// pairs) in morsel order. Probe morsels are contiguous row ranges handed
+/// out in ascending order ([`crate::parallel::morsel::split_rows`]), so
+/// the concatenation lists pairs in exactly the order one serial probe
+/// loop over all rows would — the contract that keeps the parallel join
+/// probe byte-identical to the serial one. Existence-mode probes
+/// (Semi/Anti without residual) carry matched probe rows in the first
+/// list and leave the second empty.
+pub fn concat_match_lists(per_morsel: Vec<(Vec<usize>, Vec<u32>)>) -> (Vec<usize>, Vec<u32>) {
+    let pairs: usize = per_morsel.iter().map(|(l, _)| l.len()).sum();
+    let mut lidx = Vec::with_capacity(pairs);
+    let mut ridx = Vec::with_capacity(pairs);
+    for (l, r) in per_morsel {
+        lidx.extend(l);
+        ridx.extend(r);
+    }
+    (lidx, ridx)
+}
+
 /// Fold per-morsel partial aggregation states (in morsel order) and finish
 /// into the final output batch. An empty partial list is an error — a
 /// zero-morsel fan-out must contribute one fresh (empty) partial so the

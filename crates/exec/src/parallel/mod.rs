@@ -22,7 +22,19 @@
 //!
 //! A [work-stealing pool](pool) of `std` threads executes per-morsel
 //! operator fragments — scan, then any filter/project steps, then
-//! (when the plan shape allows) a per-worker *partial aggregate*.
+//! (when the plan shape allows) a per-worker *partial aggregate*. Leaf
+//! scans additionally stream: [`ParallelScan`] runs its morsels on a
+//! detached producer pool whose results flow through a **bounded reorder
+//! buffer** ([`pool::OrderedStream`]), so downstream operators consume
+//! batches while workers are still scanning and peak memory stays
+//! O(threads × morsel) instead of O(table).
+//!
+//! Probe-heavy operators morselize *rows* rather than blocks or groups:
+//! the join probe splits each round of probe batches into contiguous row
+//! ranges ([`morsel::split_rows`]), workers probe the shared immutable
+//! [`JoinIndex`](crate::hash::JoinIndex) concurrently, and per-morsel
+//! match lists concatenate in morsel order
+//! ([`merge::concat_match_lists`]).
 //!
 //! ## Merge contracts
 //!
@@ -56,9 +68,9 @@
 //! before. [`QueryContext::with_parallel`] installs a [`ParallelConfig`];
 //! the planner then swaps eligible leaves for [`ParallelScan`], eligible
 //! aggregates for [`ParallelAggregate`], sorts for [`ParallelSort`], and
-//! hands the config to hash joins so big build sides use the
-//! hash-partitioned parallel build, leaving the rest of the operator tree
-//! serial.
+//! hands the config to both hash-join variants so big build sides use the
+//! hash-partitioned parallel build and big probe rounds fan out to
+//! probe-morsel workers, leaving the rest of the operator tree serial.
 //!
 //! [`PlainScan`]: crate::ops::scan::PlainScan
 //! [`BdccScan`]: crate::ops::bdcc_scan::BdccScan
@@ -150,25 +162,50 @@ impl FragmentBlueprint {
     }
 }
 
+/// In-flight morsel budget of a streaming scan, in units of `threads`:
+/// enough slack that workers rarely park on the reorder buffer, small
+/// enough that peak memory stays O(threads × morsel).
+const STREAM_CAP_PER_THREAD: usize = 2;
+
+/// How a [`ParallelScan`] is executing.
+enum ScanExec {
+    /// First `next()` not called yet.
+    Idle,
+    /// One worker's worth of work (threads == 1 or a single morsel): the
+    /// whole-leaf serial operator, streamed batch by batch.
+    Serial(BoxedOp),
+    /// Streaming fan-out: workers push `(morsel, batches)` through the
+    /// bounded reorder buffer; `current` drains the released morsel's
+    /// batches while `mem` keeps them registered.
+    Streaming {
+        stream: pool::OrderedStream<(Vec<Batch>, MemoryGuard)>,
+        current: std::vec::IntoIter<Batch>,
+        mem: Option<MemoryGuard>,
+    },
+}
+
 /// Morsel-parallel leaf scan: workers scan disjoint morsels, and the
-/// operator replays the per-morsel batch lists in morsel order — an exact
+/// operator releases the per-morsel batch lists in morsel order — an exact
 /// reproduction of the serial scan's batch stream, so it can stand in for
 /// a [`PlainScan`]/[`BdccScan`] under *any* serial operator tree.
 ///
-/// Execution is eager: the first `next()` runs the whole fan-out and
-/// materializes the result (laptop-scale tables; the materialization is
-/// charged to the memory tracker while it drains).
+/// Execution is **streaming**: workers publish finished morsels into a
+/// bounded reorder buffer ([`pool::OrderedStream`]) and park once more
+/// than O(`threads`) morsels are in flight, so downstream operators start
+/// consuming while the scan is still running and peak tracked memory is
+/// O(threads × morsel) instead of O(table). Each in-flight morsel's
+/// batches are registered with the memory tracker by the worker that
+/// produced them and released when the consumer moves past the morsel.
 ///
 /// [`PlainScan`]: crate::ops::scan::PlainScan
 /// [`BdccScan`]: crate::ops::bdcc_scan::BdccScan
 pub struct ParallelScan {
-    fragment: FragmentBlueprint,
+    fragment: Arc<FragmentBlueprint>,
     io: IoTracker,
     cfg: ParallelConfig,
     tracker: Arc<MemoryTracker>,
     schema: OpSchema,
-    pending: Option<std::vec::IntoIter<Batch>>,
-    mem: Option<MemoryGuard>,
+    exec: ScanExec,
 }
 
 impl ParallelScan {
@@ -178,11 +215,40 @@ impl ParallelScan {
         cfg: ParallelConfig,
         tracker: Arc<MemoryTracker>,
     ) -> Result<ParallelScan> {
-        let fragment = FragmentBlueprint { scan, steps: Vec::new() };
+        let fragment = Arc::new(FragmentBlueprint { scan, steps: Vec::new() });
         // Building (not running) the whole-leaf operator is cheap and
         // yields the schema.
         let schema = fragment.build(&io, None)?.schema().clone();
-        Ok(ParallelScan { fragment, io, cfg, tracker, schema, pending: None, mem: None })
+        Ok(ParallelScan { fragment, io, cfg, tracker, schema, exec: ScanExec::Idle })
+    }
+
+    /// Start executing: fan out to the streaming workers, or fall back to
+    /// the serial whole-leaf operator when there is nothing to fan out.
+    fn start(&mut self) -> Result<()> {
+        let morsels = self.fragment.scan.morsels(self.cfg.morsel_rows);
+        if self.cfg.threads <= 1 || morsels.len() <= 1 {
+            self.exec = ScanExec::Serial(self.fragment.build(&self.io, None)?);
+            return Ok(());
+        }
+        let fragment = Arc::clone(&self.fragment);
+        let io = self.io.clone();
+        let tracker = Arc::clone(&self.tracker);
+        let ntasks = morsels.len();
+        let cap = self.cfg.threads * STREAM_CAP_PER_THREAD;
+        let stream = pool::OrderedStream::spawn(self.cfg.threads, ntasks, cap, move |i| {
+            let mut op = fragment.build(&io, Some(&morsels[i]))?;
+            let mut out = Vec::new();
+            while let Some(b) = op.next()? {
+                out.push(b);
+            }
+            // Charge the morsel while it sits in the reorder buffer (and
+            // until the consumer finishes draining it); with the in-flight
+            // cap this is what keeps peak O(threads × morsel).
+            let bytes: u64 = out.iter().map(|b| b.estimated_bytes()).sum();
+            Ok((out, tracker.register(bytes)))
+        });
+        self.exec = ScanExec::Streaming { stream, current: Vec::new().into_iter(), mem: None };
+        Ok(())
     }
 }
 
@@ -192,26 +258,25 @@ impl Operator for ParallelScan {
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
-        if self.pending.is_none() {
-            let morsels = self.fragment.scan.morsels(self.cfg.morsel_rows);
-            let per: Vec<Vec<Batch>> = pool::run_tasks(self.cfg.threads, morsels.len(), |i| {
-                let mut op = self.fragment.build(&self.io, Some(&morsels[i]))?;
-                let mut out = Vec::new();
-                while let Some(b) = op.next()? {
-                    out.push(b);
+        loop {
+            match &mut self.exec {
+                ScanExec::Idle => self.start()?,
+                ScanExec::Serial(op) => return op.next(),
+                ScanExec::Streaming { stream, current, mem } => {
+                    if let Some(b) = current.next() {
+                        return Ok(Some(b));
+                    }
+                    *mem = None; // previous morsel fully drained
+                    match stream.recv()? {
+                        Some((batches, guard)) => {
+                            *current = batches.into_iter();
+                            *mem = Some(guard);
+                        }
+                        None => return Ok(None),
+                    }
                 }
-                Ok(out)
-            })?;
-            let batches = merge::concat_ordered(per);
-            let bytes: u64 = batches.iter().map(|b| b.estimated_bytes()).sum();
-            self.mem = Some(self.tracker.register(bytes));
-            self.pending = Some(batches.into_iter());
+            }
         }
-        let next = self.pending.as_mut().expect("materialized").next();
-        if next.is_none() {
-            self.mem = None;
-        }
-        Ok(next)
     }
 }
 

@@ -41,6 +41,16 @@ pub fn split_blocks(nblocks: usize, block_rows: usize, morsel_rows: usize) -> Ve
     (0..nblocks).step_by(per).map(|lo| Morsel::Blocks(lo..(lo + per).min(nblocks))).collect()
 }
 
+/// Split `rows` already-materialized rows (a probe batch, a group's rows)
+/// into contiguous ranges of at most `morsel_rows` rows — the probe-side
+/// counterpart of [`split_blocks`]/[`split_groups`]: ranges tile `0..rows`
+/// in order, so per-range results concatenated in range order reproduce a
+/// serial row loop exactly.
+pub fn split_rows(rows: usize, morsel_rows: usize) -> Vec<Range<usize>> {
+    let step = morsel_rows.max(1);
+    (0..rows).step_by(step).map(|lo| lo..(lo + step).min(rows)).collect()
+}
+
 /// Split an ordered group list into morsels of roughly `morsel_rows` rows.
 /// Groups are indivisible (a batch never crosses a group boundary), so a
 /// single over-sized group becomes its own morsel; tiny groups coalesce

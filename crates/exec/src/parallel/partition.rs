@@ -19,6 +19,22 @@ pub fn partition_bits_for(threads: usize) -> u32 {
     threads.max(2).next_power_of_two().trailing_zeros()
 }
 
+/// The partition owning hash `h` under a `2^bits` partitioning: the top
+/// `bits` of the hash (partition 0 when unpartitioned, `bits == 0` — a
+/// 64-bit shift would be UB-adjacent, not "whole hash"). Build and probe
+/// must agree on this routing — the partitioned
+/// [`crate::hash::JoinIndex`] probes through the same function the build
+/// scattered with, so a probe touches exactly one partition and workers
+/// probing disjoint morsels never contend on a table.
+#[inline(always)]
+pub fn partition_of(h: u64, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        (h >> (64 - bits)) as usize
+    }
+}
+
 /// Split all rows of `key_cols` into `2^bits` partitions by the top hash
 /// bits of their key. Chunks of `cfg.morsel_rows` rows are partitioned by
 /// workers concurrently; each returned partition lists its row ids in
@@ -37,7 +53,7 @@ pub fn hash_partition_rows(
         let hi = (lo + chunk).min(rows);
         let mut parts: Vec<Vec<u32>> = vec![Vec::new(); nparts];
         for r in lo..hi {
-            let p = (hash_row(key_cols, r) >> (64 - bits)) as usize;
+            let p = partition_of(hash_row(key_cols, r), bits);
             parts[p].push(r as u32);
         }
         Ok(parts)
@@ -87,6 +103,15 @@ mod tests {
                 .collect();
             assert_eq!(holders.len(), 1, "key {k} split across partitions {holders:?}");
         }
+    }
+
+    #[test]
+    fn partition_of_handles_unpartitioned_and_tops_out() {
+        assert_eq!(partition_of(u64::MAX, 0), 0, "bits = 0 routes to the sole table");
+        assert_eq!(partition_of(0, 0), 0);
+        assert_eq!(partition_of(u64::MAX, 2), 3);
+        assert_eq!(partition_of(1u64 << 62, 2), 1);
+        assert_eq!(partition_of(0, 2), 0);
     }
 
     #[test]

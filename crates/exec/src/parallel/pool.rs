@@ -1,22 +1,33 @@
-//! The work-stealing worker pool.
+//! The work-stealing worker pool and the streaming producer pool.
 //!
-//! Plain `std::thread::scope` threads — no external dependencies. Tasks
-//! are indices `0..ntasks`; each worker owns a deque seeded round-robin,
-//! pops work from the *front* of its own deque, and when empty steals from
-//! the *back* of a victim's deque (the classic Chase–Lev discipline,
-//! implemented with mutexed deques, which is plenty at morsel granularity:
-//! a morsel is thousands of rows, so queue operations are a rounding
-//! error next to task bodies).
+//! Plain `std` threads — no external dependencies. Two execution shapes:
 //!
-//! Results are returned **in task order**, whatever order workers finished
-//! in — the property every merge in this subsystem relies on for
-//! determinism. The first task error stops workers from claiming further
-//! jobs and is propagated after the scope joins; a panicking task
-//! propagates the panic.
+//! * [`run_tasks`] — a *blocking* fan-out over `std::thread::scope`. Tasks
+//!   are indices `0..ntasks`; each worker owns a deque seeded round-robin,
+//!   pops work from the *front* of its own deque, and when empty steals
+//!   from the *back* of a victim's deque (the classic Chase–Lev
+//!   discipline, implemented with mutexed deques, which is plenty at
+//!   morsel granularity: a morsel is thousands of rows, so queue
+//!   operations are a rounding error next to task bodies). Results are
+//!   returned **in task order**, whatever order workers finished in — the
+//!   property every merge in this subsystem relies on for determinism.
+//!   The first task error stops workers from claiming further jobs and is
+//!   propagated after the scope joins; a panicking task propagates the
+//!   panic.
+//!
+//! * [`OrderedStream`] — a *streaming* fan-out over detached threads with
+//!   a **bounded reorder buffer**: workers claim task indices from an
+//!   ascending counter, park before running a task more than `cap` ahead
+//!   of the consumer, and publish results keyed by task index; the
+//!   consumer's [`recv`](OrderedStream::recv) releases results strictly in
+//!   task order. At most `cap` results are ever in flight (running or
+//!   buffered), which is what bounds a streaming scan's memory at
+//!   O(workers × morsel) instead of O(table). Dropping the stream cancels
+//!   outstanding work and joins the workers.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::{ExecError, Result};
 
@@ -98,6 +109,166 @@ where
         .collect()
 }
 
+/// Shared state of one streaming fan-out.
+struct StreamState<T> {
+    /// Next unclaimed task index (claims are an ascending prefix).
+    next_claim: usize,
+    /// The consumer's next task index — results below it are released.
+    released: usize,
+    /// Completed results awaiting release, keyed by task index. Occupancy
+    /// is bounded by `cap`: a worker only *runs* task `i` once
+    /// `i < released + cap`.
+    buffer: HashMap<usize, Result<T>>,
+    /// Consumer gone (drop) — workers abandon claimed-but-unstarted work.
+    cancelled: bool,
+    /// A task failed — workers stop claiming; the consumer hits the error
+    /// at its index.
+    failed: bool,
+}
+
+struct StreamShared<T> {
+    state: Mutex<StreamState<T>>,
+    cond: Condvar,
+    ntasks: usize,
+    cap: usize,
+}
+
+/// Streaming ordered fan-out: `threads` detached workers run
+/// `task(0..ntasks)`, the consumer pulls results **in task order**, and at
+/// most `cap` results are in flight at once (backpressure parks producers
+/// that run too far ahead). See the module docs for the full contract.
+pub struct OrderedStream<T> {
+    shared: Arc<StreamShared<T>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Next task index to hand out; `ntasks` once exhausted or failed.
+    next: usize,
+}
+
+impl<T: Send + 'static> OrderedStream<T> {
+    /// Spawn the workers. `cap` is clamped to at least `threads` (a
+    /// smaller cap would idle workers without shrinking the in-flight
+    /// bound below one result per worker).
+    pub fn spawn<F>(threads: usize, ntasks: usize, cap: usize, task: F) -> OrderedStream<T>
+    where
+        F: Fn(usize) -> Result<T> + Send + Sync + 'static,
+    {
+        let threads = threads.min(ntasks).max(1);
+        let shared = Arc::new(StreamShared {
+            state: Mutex::new(StreamState {
+                next_claim: 0,
+                released: 0,
+                buffer: HashMap::new(),
+                cancelled: false,
+                failed: false,
+            }),
+            cond: Condvar::new(),
+            ntasks,
+            cap: cap.max(threads),
+        });
+        let task = Arc::new(task);
+        let handles = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let task = Arc::clone(&task);
+                std::thread::spawn(move || stream_worker(&shared, &*task))
+            })
+            .collect();
+        OrderedStream { shared, handles, next: 0 }
+    }
+
+    /// The next task's result, in task order; blocks until a worker
+    /// publishes it. `Ok(None)` after the last task; a task error is
+    /// returned at its index and ends the stream. A *panicking* task is
+    /// published as an [`ExecError::Internal`] at its index (unlike
+    /// [`run_tasks`]' scoped threads, a detached worker dying silently
+    /// would hang this call forever).
+    pub fn recv(&mut self) -> Result<Option<T>> {
+        if self.next >= self.shared.ntasks {
+            return Ok(None);
+        }
+        let i = self.next;
+        let mut st = self.shared.state.lock().expect("stream state poisoned");
+        loop {
+            if let Some(r) = st.buffer.remove(&i) {
+                match r {
+                    Ok(v) => {
+                        self.next += 1;
+                        st.released = self.next;
+                        // Wake producers parked on the in-flight cap.
+                        self.shared.cond.notify_all();
+                        return Ok(Some(v));
+                    }
+                    Err(e) => {
+                        self.next = self.shared.ntasks; // terminal
+                        return Err(e);
+                    }
+                }
+            }
+            st = self.shared.cond.wait(st).expect("stream state poisoned");
+        }
+    }
+}
+
+impl<T> Drop for OrderedStream<T> {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("stream state poisoned");
+            st.cancelled = true;
+        }
+        self.shared.cond.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn stream_worker<T, F>(shared: &StreamShared<T>, task: &F)
+where
+    F: Fn(usize) -> Result<T>,
+{
+    loop {
+        let claim = {
+            let mut st = shared.state.lock().expect("stream state poisoned");
+            if st.cancelled || st.failed || st.next_claim >= shared.ntasks {
+                return;
+            }
+            let claim = st.next_claim;
+            st.next_claim += 1;
+            // Backpressure: park until this task is within `cap` of the
+            // consumer. Claims are an ascending prefix, so the consumer's
+            // next task is always running or buffered, never parked here
+            // (its index satisfies `claim < released + cap` trivially) —
+            // no deadlock.
+            while !st.cancelled && claim >= st.released + shared.cap {
+                st = shared.cond.wait(st).expect("stream state poisoned");
+            }
+            if st.cancelled {
+                return;
+            }
+            claim
+        };
+        // A panicking task must still publish *something*, or the consumer
+        // would wait on its index forever (these are detached threads — a
+        // silently dead worker is a hung query). Surface it as an error at
+        // the task's index instead.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(claim)))
+            .unwrap_or_else(|p| {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(ExecError::Internal(format!("streaming worker panicked: {msg}")))
+            });
+        let mut st = shared.state.lock().expect("stream state poisoned");
+        if r.is_err() {
+            st.failed = true;
+        }
+        st.buffer.insert(claim, r);
+        shared.cond.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +342,104 @@ mod tests {
             "short-circuit did not stop the fan-out: {} tasks ran",
             executed.load(Ordering::Relaxed)
         );
+    }
+
+    #[test]
+    fn stream_yields_results_in_task_order() {
+        let mut s = OrderedStream::spawn(4, 23, 8, |i| Ok(i * 3));
+        let mut got = Vec::new();
+        while let Some(v) = s.recv().unwrap() {
+            got.push(v);
+        }
+        assert_eq!(got, (0..23).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(s.recv().unwrap().is_none(), "exhausted stream stays exhausted");
+    }
+
+    #[test]
+    fn stream_bounds_in_flight_results() {
+        // Track how many results exist (produced - consumed) at once; with
+        // cap 4 the high-water must stay at cap (+ nothing racing past the
+        // park) even though the consumer is slow.
+        let outstanding = Arc::new(AtomicUsize::new(0));
+        let high = Arc::new(AtomicUsize::new(0));
+        let (o, h) = (Arc::clone(&outstanding), Arc::clone(&high));
+        let mut s = OrderedStream::spawn(4, 40, 4, move |i| {
+            let now = o.fetch_add(1, Ordering::SeqCst) + 1;
+            h.fetch_max(now, Ordering::SeqCst);
+            Ok(i)
+        });
+        let mut n = 0;
+        while let Some(_v) = s.recv().unwrap() {
+            outstanding.fetch_sub(1, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            n += 1;
+        }
+        assert_eq!(n, 40);
+        // +1 slack: the consumer's decrement happens after next() returns,
+        // so a worker released by that very next() can start (and count)
+        // before the decrement lands — a measurement race, not a cap leak.
+        assert!(
+            high.load(Ordering::SeqCst) <= 5,
+            "in-flight results exceeded the cap: {}",
+            high.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn stream_propagates_error_at_its_index() {
+        let mut s = OrderedStream::spawn(3, 10, 4, |i| {
+            if i == 5 {
+                Err(ExecError::Internal("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        for want in 0..5 {
+            assert_eq!(s.recv().unwrap(), Some(want));
+        }
+        assert!(s.recv().is_err(), "task 5's error must surface at index 5");
+        assert!(s.recv().unwrap().is_none(), "stream is terminal after an error");
+    }
+
+    #[test]
+    fn stream_surfaces_worker_panics_as_errors() {
+        // A panicking task must not hang the consumer: it publishes an
+        // Internal error at its index and the stream ends there.
+        let mut s = OrderedStream::spawn(3, 8, 4, |i| {
+            if i == 4 {
+                panic!("morsel exploded");
+            }
+            Ok(i)
+        });
+        for want in 0..4 {
+            assert_eq!(s.recv().unwrap(), Some(want));
+        }
+        match s.recv() {
+            Err(ExecError::Internal(m)) => {
+                assert!(m.contains("panicked"), "unexpected message: {m}")
+            }
+            other => panic!("expected a panic-derived error, got {other:?}"),
+        }
+        assert!(s.recv().unwrap().is_none(), "stream is terminal after a panic");
+    }
+
+    #[test]
+    fn dropping_a_stream_midway_joins_workers() {
+        // Consume a few results, then drop: Drop must cancel parked and
+        // unclaimed work and join every worker without hanging.
+        let mut s = OrderedStream::spawn(4, 100, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            Ok(i)
+        });
+        assert_eq!(s.recv().unwrap(), Some(0));
+        assert_eq!(s.recv().unwrap(), Some(1));
+        drop(s);
+    }
+
+    #[test]
+    fn zero_task_stream_is_immediately_done() {
+        let mut s: OrderedStream<usize> = OrderedStream::spawn(4, 0, 4, Ok);
+        assert!(s.recv().unwrap().is_none());
     }
 
     #[test]

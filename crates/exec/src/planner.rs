@@ -584,6 +584,10 @@ impl<'a> Planner<'a> {
                             let rreq: Vec<InstSet> = keys.clone();
                             let lout = self.build(left, &lreq)?;
                             let rout = self.build(right, &rreq)?;
+                            // Under a parallel config, oversized groups
+                            // build partitioned and probe in row-range
+                            // morsels; the group merge itself stays serial
+                            // (it is the partition-wise short-circuit).
                             let j = SandwichHashJoin::new(
                                 lout.op,
                                 rout.op,
@@ -592,7 +596,8 @@ impl<'a> Planner<'a> {
                                 rout.gk_cols,
                                 residual.clone(),
                                 Arc::clone(&self.ctx.tracker),
-                            )?;
+                            )?
+                            .with_parallel(self.ctx.parallel.clone());
                             // Output keeps the left columns at unchanged
                             // positions; requested = the first
                             // `requested.len()` sandwich keys.
@@ -636,7 +641,10 @@ impl<'a> Planner<'a> {
         let rout = self.build(right, &[])?;
         // Under a parallel config the join's build side is indexed with
         // the hash-partitioned parallel build (partitioned tables are
-        // registered with the memory tracker inside the operator).
+        // registered with the memory tracker inside the operator) and the
+        // probe side fans out in row-range morsels over rounds of left
+        // batches — both gated inside the operator on the config's
+        // morsel budget, both byte-identical to serial execution.
         let j = HashJoin::new(
             lout.op,
             rout.op,

@@ -155,6 +155,32 @@ proptest! {
         }
     }
 
+    /// The morsel-parallel probe (rounds of left batches split into
+    /// row-range probe morsels, match lists concatenated in morsel order)
+    /// is **byte-identical** to the serial probe for every join flavor,
+    /// with and without a residual predicate — residuals are evaluated
+    /// per probe morsel, Semi/Anti without residual take the existence
+    /// fast path, and none of it may change a single byte.
+    #[test]
+    fn parallel_probe_is_byte_identical(
+        left in prop::collection::vec((0i64..10, -20i64..20), 1..120),
+        right in prop::collection::vec((0i64..10, -20i64..20), 1..50),
+        residual in any::<bool>(),
+        threads in 2usize..6,
+    ) {
+        // Tiny morsels: every 7-row left batch splits into several probe
+        // morsels and probe rounds span multiple batches.
+        let cfg = ParallelConfig { threads, morsel_rows: 3 };
+        for jt in ALL_TYPES {
+            let serial = run_join(&left, &right, jt, residual, None);
+            let parallel = run_join(&left, &right, jt, residual, Some(cfg.clone()));
+            prop_assert_eq!(
+                &serial, &parallel,
+                "{:?} residual={} threads={}", jt, residual, threads
+            );
+        }
+    }
+
     /// Degenerate shapes: empty sides, all-equal keys (one fat chain).
     #[test]
     fn degenerate_key_distributions(

@@ -8,20 +8,32 @@
 //! `Sort` for a `ParallelSort` and every big-enough hash-join build for
 //! the hash-partitioned parallel build.
 //!
-//! The worker count honours `BDCC_THREADS` (default 4) so CI can run the
-//! same suite at 1 and 4 threads in release mode.
+//! The worker count honours `BDCC_THREADS` (default 4) and the morsel
+//! size honours `BDCC_MORSEL_ROWS` (default 256) so CI can run the same
+//! suite across a threads × morsel-size matrix in release mode.
 
 use std::sync::Arc;
 
 use bdcc::prelude::*;
 use bdcc_exec::ops::bdcc_scan::GroupSpec;
+use bdcc_exec::ops::collect;
 use bdcc_exec::parallel::morsel::{split_blocks, split_groups, Morsel};
-use bdcc_exec::{ParallelConfig, QueryContext};
+use bdcc_exec::parallel::{ParallelScan, ScanBlueprint, ScanKind};
+use bdcc_exec::{MemoryTracker, ParallelConfig, QueryContext};
+use bdcc_storage::IoTracker;
 
 /// Worker count under test: `BDCC_THREADS`, default 4 (1 exercises the
 /// serial planning paths end to end).
 fn test_threads() -> usize {
     std::env::var("BDCC_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// Morsel size under test: `BDCC_MORSEL_ROWS`, default 256 — small enough
+/// that even SF 0.002 tables split into dozens of morsels and every join
+/// build side beyond it goes partitioned (CI also runs a tiny-morsel
+/// configuration to stress probe-morsel splitting).
+fn test_morsel_rows() -> usize {
+    std::env::var("BDCC_MORSEL_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
 }
 
 fn schemes() -> (f64, Vec<Arc<SchemeDb>>) {
@@ -61,9 +73,7 @@ fn rows_equivalent(a: &[String], b: &[String]) -> bool {
 #[test]
 fn all_queries_parallel_equals_serial_on_all_schemes() {
     let (sf, sdbs) = schemes();
-    // 256-row morsels: even SF 0.002 tables split into dozens of morsels,
-    // and every join build side beyond 256 rows goes partitioned.
-    let par_cfg = ParallelConfig { threads: test_threads(), morsel_rows: 256 };
+    let par_cfg = ParallelConfig { threads: test_threads(), morsel_rows: test_morsel_rows() };
     let mut failures = Vec::new();
     for q in all_queries() {
         for sdb in &sdbs {
@@ -131,6 +141,110 @@ fn tiny_morsels_force_partitioned_joins_and_many_sort_runs() {
         }
     }
     assert!(failures.is_empty(), "tiny-morsel disagreement: {}", failures.join(", "));
+}
+
+#[test]
+fn probe_morsel_matrix_agrees_with_serial() {
+    // The parallel-probe matrix: tiny probe morsels × worker counts
+    // {1, BDCC_THREADS} × all three schemes, over the join-heavy queries
+    // (probe rounds split into many row-range morsels; Semi/Anti take the
+    // existence fast path; the sandwich join fans out oversized groups).
+    let (sf, sdbs) = schemes();
+    let heavy = [3usize, 4, 10, 18, 21, 22]; // inner, semi, anti, outer probes
+    let mut failures = Vec::new();
+    for threads in [1, test_threads().max(2)] {
+        for morsel_rows in [16, 64] {
+            let cfg = ParallelConfig { threads, morsel_rows };
+            for q in all_queries().into_iter().filter(|q| heavy.contains(&q.id)) {
+                for sdb in &sdbs {
+                    let serial = (q.run)(&QueryCtx::new(QueryContext::new(Arc::clone(sdb)), sf));
+                    let parallel = (q.run)(&QueryCtx::new(
+                        QueryContext::with_parallel(Arc::clone(sdb), cfg.clone()),
+                        sf,
+                    ));
+                    match (serial, parallel) {
+                        (Ok(s), Ok(p)) => {
+                            let (s, p) = (canonical_rows(&s), canonical_rows(&p));
+                            if !rows_equivalent(&s, &p) {
+                                failures.push(format!(
+                                    "{} on {} ({threads}t, {morsel_rows}-row morsels)",
+                                    q.name,
+                                    sdb.scheme.name()
+                                ));
+                            }
+                        }
+                        (Err(e), _) | (_, Err(e)) => failures.push(format!(
+                            "{} on {} ({threads}t, {morsel_rows}-row morsels): {e}",
+                            q.name,
+                            sdb.scheme.name()
+                        )),
+                    }
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "probe-morsel disagreement: {}", failures.join(", "));
+}
+
+#[test]
+fn streaming_scan_memory_stays_morsel_bounded() {
+    // Scan the largest generated table (LINEITEM) through the streaming
+    // ParallelScan: the bounded reorder buffer must keep peak *tracked*
+    // memory at O(threads × morsel), not O(table) — the whole point of
+    // replacing the eager materialization.
+    let db = bdcc::tpch::generate(&GenConfig::new(0.005));
+    let li = db.stored_by_name("lineitem").expect("lineitem stored");
+    // Rebuild with small blocks so the table splits into many morsels
+    // (morsels take whole MinMax blocks).
+    let named: Vec<(String, Column)> = li
+        .schema()
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.name.clone(), li.column(i).unwrap().as_ref().clone()))
+        .collect();
+    let cols: Vec<String> = named.iter().map(|(n, _)| n.clone()).collect();
+    let small = Arc::new(
+        StoredTable::from_columns_with_block_rows("lineitem", named, 256).expect("rebuild"),
+    );
+    let blueprint = |t: &Arc<StoredTable>| ScanBlueprint {
+        table: Arc::clone(t),
+        columns: cols.clone(),
+        predicates: vec![],
+        kind: ScanKind::Plain,
+    };
+    let serial =
+        collect(blueprint(&small).build(&IoTracker::new(), None).expect("serial scan")).unwrap();
+    let table_bytes = serial.estimated_bytes();
+    // Clamp the worker count: the in-flight cap grows with threads
+    // (O(threads) morsels) while the table's morsel count is fixed, so an
+    // unclamped BDCC_THREADS (say 16) would make the "far below the whole
+    // table" half of the assertion meaningless, not wrong.
+    let threads = test_threads().clamp(2, 4);
+    let morsel_rows = 256;
+    let cfg = ParallelConfig { threads, morsel_rows };
+    let tracker = MemoryTracker::new();
+    let streamed = collect(Box::new(
+        ParallelScan::new(blueprint(&small), IoTracker::new(), cfg, tracker.clone()).unwrap(),
+    ))
+    .unwrap();
+    assert_eq!(serial, streamed, "streaming scan must replay the serial stream");
+    let morsels = small.rows().div_ceil(morsel_rows);
+    assert!(morsels >= 32, "need many morsels for the bound to mean anything, got {morsels}");
+    assert!(tracker.peak() > 0, "streaming scan must register in-flight morsels");
+    // In-flight cap is O(threads) morsels; allow generous slack (guards
+    // release as the consumer drains, estimates are approximate) while
+    // still ruling out whole-table materialization.
+    let per_morsel = table_bytes / morsels as u64;
+    let bound = (4 * threads as u64 + 4) * per_morsel;
+    assert!(
+        tracker.peak() <= bound && tracker.peak() * 4 <= table_bytes,
+        "peak {} exceeds morsel bound {} (table {}, {} morsels)",
+        tracker.peak(),
+        bound,
+        table_bytes,
+        morsels
+    );
 }
 
 #[test]
