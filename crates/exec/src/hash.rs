@@ -146,6 +146,39 @@ impl Hasher for FxHasher {
 /// `BuildHasher` plugging [`FxHasher`] into std collections.
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
+/// Hash one row of a set of **group-key columns** — the aggregation-side
+/// key codec. Integer-backed columns feed their value, floats their bit
+/// pattern (groups compare floats bitwise), strings their bytes plus a
+/// `0xff` terminator (so `("ab", "c")` and `("a", "bc")` differ), all
+/// through the same FxHash rounds + avalanche as the join-key codec
+/// ([`hash_key`]/[`hash_row`]).
+///
+/// Columns are folded **ints-then-strings** (integer-backed columns in
+/// order, then string columns in order) — the exact write sequence the
+/// aggregation `GroupKey`'s `Hash` impl performs — so this function,
+/// radix partition routing, and the aggregation hash table all agree on
+/// one codec: `hash_group_row(cols, r)` equals the `FxHasher` hash of the
+/// `GroupKey` built from row `r` (asserted by a unit test in `ops::agg`).
+#[inline]
+pub fn hash_group_row(group_cols: &[&bdcc_storage::Column], row: usize) -> u64 {
+    use bdcc_storage::Column;
+    let mut h = FxHasher::default();
+    for c in group_cols {
+        match c {
+            Column::I64 { values, .. } => h.write_u64(values[row] as u64),
+            Column::F64(values) => h.write_u64(values[row].to_bits()),
+            Column::Str(_) => {}
+        }
+    }
+    for c in group_cols {
+        if let Column::Str(values) = c {
+            h.write(values[row].as_bytes());
+            h.write_u8(0xff);
+        }
+    }
+    h.finish()
+}
+
 /// One flat open-addressed-directory + chained-entry hash table (see the
 /// module doc for the layout). Covers either the whole build side (serial)
 /// or one hash partition of it (parallel).
@@ -498,7 +531,7 @@ mod tests {
         let n = 10_000i64;
         let keys: Vec<i64> = (0..n).map(|i| i % 997).collect();
         let serial = JoinIndex::build(&[&keys], None).unwrap();
-        let cfg = ParallelConfig { threads: 4, morsel_rows: 512 };
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 512, agg_radix: None };
         let parallel = JoinIndex::build(&[&keys], Some(&cfg)).unwrap();
         assert!(parallel.partition_count() > 1, "build must have partitioned");
         assert_eq!(parallel.len(), serial.len());
@@ -510,7 +543,7 @@ mod tests {
     #[test]
     fn one_thread_config_builds_serially() {
         let keys: Vec<i64> = (0..1000).collect();
-        let cfg = ParallelConfig { threads: 1, morsel_rows: 16 };
+        let cfg = ParallelConfig { threads: 1, morsel_rows: 16, agg_radix: None };
         let idx = JoinIndex::build(&[&keys], Some(&cfg)).unwrap();
         assert_eq!(idx.partition_count(), 1);
     }
@@ -519,7 +552,7 @@ mod tests {
     fn has_match_agrees_with_for_each_match() {
         let keys: Vec<i64> = (0..500).map(|i| i % 37).collect();
         let idx = JoinIndex::build(&[&keys], None).unwrap();
-        let cfg = ParallelConfig { threads: 4, morsel_rows: 64 };
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 64, agg_radix: None };
         let part = JoinIndex::build(&[&keys], Some(&cfg)).unwrap();
         for k in -5..45 {
             let hits = !matches(&idx, &[k]).is_empty();
@@ -535,13 +568,13 @@ mod tests {
         let idx = JoinIndex::build(&[&build_keys], None).unwrap();
         let serial = idx.probe_pairs_parallel(&[&probe_keys], probe_keys.len(), None).unwrap();
         for threads in [2, 4] {
-            let cfg = ParallelConfig { threads, morsel_rows: 128 };
+            let cfg = ParallelConfig { threads, morsel_rows: 128, agg_radix: None };
             let par =
                 idx.probe_pairs_parallel(&[&probe_keys], probe_keys.len(), Some(&cfg)).unwrap();
             assert_eq!(serial, par, "threads={threads}");
         }
         // And a partitioned index probed in parallel morsels.
-        let cfg = ParallelConfig { threads: 4, morsel_rows: 128 };
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 128, agg_radix: None };
         let part = JoinIndex::build(&[&build_keys], Some(&cfg)).unwrap();
         let par = part.probe_pairs_parallel(&[&probe_keys], probe_keys.len(), Some(&cfg)).unwrap();
         assert_eq!(serial, par, "partitioned index, parallel probe");

@@ -49,10 +49,29 @@ impl AggSpec {
 }
 
 /// Composite group key: integer and string parts.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct GroupKey {
     ints: Vec<i64>,
     strs: Vec<String>,
+}
+
+/// One shared key codec: the write sequence below, fed through
+/// [`FxHasher`], produces *exactly*
+/// [`crate::hash::hash_group_row`]'s value for the row this key was built
+/// from (ints in order, then strings with a `0xff` terminator each; no
+/// length prefixes). Radix partition routing and the aggregation hash
+/// table therefore hash every group key identically — a group's
+/// partition and its table bucket derive from one hash.
+impl std::hash::Hash for GroupKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for &v in &self.ints {
+            state.write_u64(v as u64);
+        }
+        for s in &self.strs {
+            state.write(s.as_bytes());
+            state.write_u8(0xff);
+        }
+    }
 }
 
 /// Neumaier-compensated add: accumulates the rounding error of `sum += v`
@@ -226,6 +245,16 @@ struct AggCore {
     groups: HashMap<GroupKey, Vec<AccState>, FxBuildHasher>,
     /// Insertion order for deterministic output.
     order: Vec<GroupKey>,
+    /// Parallel to `order`: the global input position of each group's
+    /// first row. On the plain [`consume`](Self::consume) path this is a
+    /// running row counter (so it equals the serial stream position);
+    /// [`consume_indexed`](Self::consume_indexed) records caller-supplied
+    /// positions instead — how radix-partitioned aggregation remembers
+    /// the serial first-seen order across disjoint partitions.
+    first_seen: Vec<u64>,
+    /// Rows consumed so far (the id space of `first_seen` when no
+    /// explicit ids are supplied).
+    rows_seen: u64,
 }
 
 impl AggCore {
@@ -264,12 +293,30 @@ impl AggCore {
                 agg_types,
                 groups: HashMap::default(),
                 order: Vec::new(),
+                first_seen: Vec::new(),
+                rows_seen: 0,
             },
             schema,
         ))
     }
 
     fn consume(&mut self, batch: &Batch) -> Result<()> {
+        self.consume_rows(batch, None, 0)
+    }
+
+    /// [`consume`](Self::consume) with explicit global input positions:
+    /// `ids[row] + base` is row `row`'s position in the original (serial)
+    /// stream. Radix-partitioned aggregation feeds each partition the
+    /// gathered sub-batches with their pre-gather positions, so the
+    /// partition-local `first_seen` ranks stay comparable across
+    /// partitions and the final concatenation can reproduce the serial
+    /// first-seen group order exactly.
+    fn consume_indexed(&mut self, batch: &Batch, ids: &[u64], base: u64) -> Result<()> {
+        debug_assert_eq!(ids.len(), batch.rows());
+        self.consume_rows(batch, Some(ids), base)
+    }
+
+    fn consume_rows(&mut self, batch: &Batch, ids: Option<&[u64]>, base: u64) -> Result<()> {
         let agg_inputs: Vec<Column> =
             self.agg_exprs.iter().map(|e| e.eval(batch)).collect::<Result<Vec<_>>>()?;
         for row in 0..batch.rows() {
@@ -288,6 +335,10 @@ impl AggCore {
             let key = GroupKey { ints, strs };
             if !self.groups.contains_key(&key) {
                 self.order.push(key.clone());
+                self.first_seen.push(match ids {
+                    Some(ids) => base + ids[row],
+                    None => self.rows_seen + row as u64,
+                });
                 let fresh: Vec<AccState> = self
                     .agg_funcs
                     .iter()
@@ -301,6 +352,7 @@ impl AggCore {
                 state.update(col, row);
             }
         }
+        self.rows_seen += batch.rows() as u64;
         Ok(())
     }
 
@@ -376,6 +428,7 @@ impl AggCore {
         }
         self.groups.clear();
         self.order.clear();
+        self.first_seen.clear();
         Ok(Batch::new(cols))
     }
 
@@ -392,7 +445,7 @@ impl AggCore {
     fn merge_from(&mut self, other: AggCore) {
         debug_assert_eq!(self.agg_funcs, other.agg_funcs);
         let mut other_groups = other.groups;
-        for key in other.order {
+        for (i, key) in other.order.into_iter().enumerate() {
             let states = other_groups.remove(&key).expect("ordered key present");
             match self.groups.get_mut(&key) {
                 Some(mine) => {
@@ -402,6 +455,10 @@ impl AggCore {
                 }
                 None => {
                     self.order.push(key.clone());
+                    // Partials each count rows from 0, so merged ranks are
+                    // only ordinal per-partial; the partial-merge path
+                    // orders by fold position, never by these ranks.
+                    self.first_seen.push(other.first_seen[i]);
                     self.groups.insert(key, states);
                 }
             }
@@ -466,6 +523,14 @@ impl PartialAgg {
         self.core.consume(batch)
     }
 
+    /// Accumulate one batch whose rows carry explicit global stream
+    /// positions (`ids[row] + base`) — the radix-partitioned consume: a
+    /// partition sees only its slice of the input, but remembers where
+    /// each group first appeared in the *whole* stream.
+    pub fn consume_indexed(&mut self, batch: &Batch, ids: &[u64], base: u64) -> Result<()> {
+        self.core.consume_indexed(batch, ids, base)
+    }
+
     /// Estimated bytes of accumulated state (memory accounting).
     pub fn estimated_bytes(&self) -> u64 {
         self.core.estimated_bytes()
@@ -484,6 +549,19 @@ impl PartialAgg {
             return Ok(self.core.zero_state_batch());
         }
         Ok(out)
+    }
+
+    /// Finish into `(output batch, first-seen rank per output row)` — the
+    /// radix-partition finish. The ranks are the global stream positions
+    /// recorded by [`consume_indexed`](Self::consume_indexed); sorting the
+    /// concatenated partition outputs by them reproduces the serial
+    /// first-seen group order byte-for-byte
+    /// ([`crate::parallel::merge::concat_radix_partitions`]).
+    pub fn finish_ordered(mut self) -> Result<(Batch, Vec<u64>)> {
+        let ranks = std::mem::take(&mut self.core.first_seen);
+        let out = self.core.flush()?;
+        debug_assert_eq!(ranks.len(), out.rows());
+        Ok((out, ranks))
     }
 }
 
@@ -905,6 +983,38 @@ mod tests {
         // Keys 10,11 flushed first (partition 0), then 20,21.
         assert_eq!(out.columns[0].as_i64().unwrap(), &[10, 11, 20, 21]);
         assert_eq!(out.columns[1].as_i64().unwrap(), &[4, 2, 10, 5]);
+    }
+
+    #[test]
+    fn group_key_hash_matches_shared_codec() {
+        // The table's GroupKey hash (via FxHasher) and the radix routing
+        // hash (hash_group_row) must be the *same* codec, whatever mix
+        // and interleaving of int/float/string group columns.
+        use crate::hash::hash_group_row;
+        use std::hash::BuildHasher;
+        let a = Column::from_i64(vec![5, -3, i64::MAX]);
+        let s = Column::from_strings(vec!["x".into(), String::new(), "abc".into()]);
+        let f = Column::from_f64(vec![1.5, -0.0, f64::NAN]);
+        let d = Column::from_dates(vec![9131, 0, -1]);
+        let cols: Vec<&Column> = vec![&a, &s, &f, &d];
+        for row in 0..3 {
+            // The key exactly as consume_rows builds it: integer-backed
+            // values (and float bits) in column order, strings in column
+            // order.
+            let key = GroupKey {
+                ints: vec![
+                    a.as_i64().unwrap()[row],
+                    f.as_f64().unwrap()[row].to_bits() as i64,
+                    d.as_i64().unwrap()[row],
+                ],
+                strs: vec![s.as_str().unwrap()[row].clone()],
+            };
+            assert_eq!(
+                FxBuildHasher::default().hash_one(&key),
+                hash_group_row(&cols, row),
+                "row {row}"
+            );
+        }
     }
 
     #[test]

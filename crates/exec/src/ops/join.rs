@@ -580,7 +580,7 @@ mod tests {
     fn parallel_build_is_byte_identical() {
         // Tiny morsel budget forces the partitioned build even at this
         // scale; every join flavor must match the serial output exactly.
-        let cfg = ParallelConfig { threads: 4, morsel_rows: 1 };
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 1, agg_radix: None };
         for jt in [JoinType::Inner, JoinType::LeftOuter, JoinType::Semi, JoinType::Anti] {
             let serial = collect(Box::new(
                 HashJoin::new(
@@ -650,7 +650,7 @@ mod tests {
         // and without a residual, every flavor must equal serial exactly.
         let left: Vec<(i64, i64)> = (0..200).map(|i| (i % 23, i)).collect();
         let right: Vec<(i64, i64)> = (0..60).map(|i| (i % 31, 1000 + i)).collect();
-        let cfg = ParallelConfig { threads: 4, morsel_rows: 8 };
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 8, agg_radix: None };
         for jt in [JoinType::Inner, JoinType::LeftOuter, JoinType::Semi, JoinType::Anti] {
             for residual in [false, true] {
                 let res =

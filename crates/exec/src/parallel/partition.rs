@@ -1,22 +1,71 @@
-//! Hash-partitioning build rows for the parallel join build.
+//! Hash-partitioning rows by key hash — the **shared routing contract**
+//! of the parallel join build, the partitioned join probe, and
+//! radix-partitioned aggregation.
 //!
-//! Workers consume morsel-sized chunks of the materialized build side and
-//! split each chunk's row ids by the key hash's top bits; the per-chunk
-//! partition lists then concatenate **in chunk order**, so every
-//! partition's row list is ascending — the same order-deterministic merge
-//! contract as the rest of [`crate::parallel`], and the property that
-//! keeps partitioned probes byte-identical to serial ones (chains built
-//! from ascending rows stay ascending).
+//! All three consumers split work into `2^bits` partitions selected by
+//! the **top `bits` of one shared key hash** ([`partition_of`]), with the
+//! bit count derived from the worker count by one shared helper
+//! ([`partition_bits_for`] / [`bits_for_partition_count`] /
+//! [`partition_count`]). Sharing the derivation and the routing function
+//! is what makes the three paths composable:
+//!
+//! * **Join build** ([`crate::hash::JoinIndex::build`]): build rows
+//!   scatter into per-partition [`JoinTable`]s by the top bits of the
+//!   join-key hash ([`crate::hash::hash_row`]). Workers consume
+//!   morsel-sized chunks of the build side and split each chunk's row ids
+//!   ([`hash_partition_rows`]); per-chunk partition lists concatenate
+//!   **in chunk order**, so every partition's row list is ascending — the
+//!   order-deterministic merge contract of the rest of
+//!   [`crate::parallel`], and the property that keeps partitioned probes
+//!   byte-identical to serial ones (chains built from ascending rows stay
+//!   ascending).
+//! * **Join probe**: every probe computes the same key hash once and
+//!   routes to the one owning partition through the same
+//!   [`partition_of`]; a probe touches exactly one table, so concurrent
+//!   probe morsels never contend, and `bits == 0` (an unpartitioned,
+//!   serially built index) routes everything to the sole table.
+//! * **Radix aggregation** ([`crate::parallel::ParallelAggregate`]):
+//!   input rows scatter by the top bits of the *group-key* hash
+//!   ([`crate::hash::hash_group_row`], [`partition_rows_of_batch`]) so
+//!   each distinct group lands wholly in one partition and one worker's
+//!   table — the group-side analogue of the build scatter, with the same
+//!   guarantee (equal keys never split across partitions) carried by the
+//!   same top-bit routing.
+//!
+//! [`JoinTable`]: crate::hash::JoinTable
+
+use bdcc_storage::Column;
 
 use crate::error::Result;
-use crate::hash::hash_row;
+use crate::hash::{hash_group_row, hash_row};
 use crate::parallel::{pool, ParallelConfig};
 
 /// Partition count for a worker count: the next power of two at or above
 /// `threads` (at least 2), so the top `bits` of the hash select a
-/// partition with no modulo.
+/// partition with no modulo. The one `threads → bits` derivation shared
+/// by the join build and radix aggregation (probes reuse the bit count
+/// the build stored).
 pub fn partition_bits_for(threads: usize) -> u32 {
-    threads.max(2).next_power_of_two().trailing_zeros()
+    bits_for_partition_count(threads.max(2))
+}
+
+/// Bits needed for (at least) `nparts` partitions: non-powers-of-two
+/// round **up** to the next power of two (a top-bits router cannot
+/// address a non-power-of-two table count), and `nparts <= 1` is the
+/// unpartitioned case (`bits == 0`, everything routes to partition 0).
+pub fn bits_for_partition_count(nparts: usize) -> u32 {
+    if nparts <= 1 {
+        0
+    } else {
+        nparts.next_power_of_two().trailing_zeros()
+    }
+}
+
+/// The number of partitions a `bits`-bit routing addresses (`2^bits`;
+/// 1 when unpartitioned). Inverse of [`bits_for_partition_count`] on
+/// powers of two.
+pub fn partition_count(bits: u32) -> usize {
+    1usize << bits
 }
 
 /// The partition owning hash `h` under a `2^bits` partitioning: the top
@@ -44,7 +93,7 @@ pub fn hash_partition_rows(
     bits: u32,
     cfg: &ParallelConfig,
 ) -> Result<Vec<Vec<u32>>> {
-    let nparts = 1usize << bits;
+    let nparts = partition_count(bits);
     let rows = key_cols.first().map(|c| c.len()).unwrap_or(0);
     let chunk = cfg.morsel_rows.max(1);
     let starts: Vec<usize> = (0..rows).step_by(chunk).collect();
@@ -68,6 +117,21 @@ pub fn hash_partition_rows(
     Ok(merged)
 }
 
+/// Split one batch's rows into `2^bits` partitions by the top bits of
+/// their **group-key** hash ([`hash_group_row`] over `group_cols` —
+/// the same codec the aggregation hash table hashes its keys with).
+/// Returns per-partition row-index lists, each ascending, jointly tiling
+/// `0..batch_rows`; rows with equal group keys always land in one
+/// partition, which is what lets radix aggregation keep every group in
+/// exactly one worker-local table.
+pub fn partition_rows_of_batch(group_cols: &[&Column], rows: usize, bits: u32) -> Vec<Vec<usize>> {
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); partition_count(bits)];
+    for r in 0..rows {
+        parts[partition_of(hash_group_row(group_cols, r), bits)].push(r);
+    }
+    parts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,7 +139,7 @@ mod tests {
     #[test]
     fn partitions_tile_rows_in_ascending_order() {
         let keys: Vec<i64> = (0..5000).map(|i| i * 37 % 211).collect();
-        let cfg = ParallelConfig { threads: 4, morsel_rows: 256 };
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 256, agg_radix: None };
         let bits = partition_bits_for(cfg.threads);
         let parts = hash_partition_rows(&[&keys], bits, &cfg).unwrap();
         assert_eq!(parts.len(), 4);
@@ -91,7 +155,7 @@ mod tests {
     #[test]
     fn equal_keys_land_in_one_partition() {
         let keys: Vec<i64> = (0..1000).map(|i| i % 10).collect();
-        let cfg = ParallelConfig { threads: 8, morsel_rows: 64 };
+        let cfg = ParallelConfig { threads: 8, morsel_rows: 64, agg_radix: None };
         let bits = partition_bits_for(cfg.threads);
         let parts = hash_partition_rows(&[&keys], bits, &cfg).unwrap();
         for k in 0..10i64 {
@@ -125,9 +189,69 @@ mod tests {
     }
 
     #[test]
+    fn count_and_bits_helpers_agree_on_edges() {
+        // bits == 0: the unpartitioned case — one table, everything
+        // routes to it.
+        assert_eq!(partition_count(0), 1);
+        assert_eq!(bits_for_partition_count(0), 0);
+        assert_eq!(bits_for_partition_count(1), 0);
+        // Non-powers-of-two round up, never down (a top-bits router
+        // cannot address 3 or 6 tables).
+        assert_eq!(bits_for_partition_count(3), 2);
+        assert_eq!(bits_for_partition_count(5), 3);
+        assert_eq!(bits_for_partition_count(6), 3);
+        assert_eq!(bits_for_partition_count(7), 3);
+        // Round trip on powers of two.
+        for bits in 0..10u32 {
+            assert_eq!(bits_for_partition_count(partition_count(bits)), bits);
+        }
+        // partition_of stays in range for every (bits, hash) combination
+        // the helpers can produce.
+        for threads in 1..12usize {
+            let bits = partition_bits_for(threads);
+            for h in [0u64, 1, u64::MAX, u64::MAX / 3] {
+                assert!(partition_of(h, bits) < partition_count(bits));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rows_partition_by_group_key() {
+        // Mixed int + string group key: equal keys land in one partition,
+        // per-partition lists ascend and jointly tile the batch.
+        let ints = Column::from_i64((0..300).map(|i| i % 7).collect());
+        let strs = Column::from_strings((0..300).map(|i| format!("s{}", i % 5)).collect());
+        let cols: Vec<&Column> = vec![&ints, &strs];
+        let bits = 2;
+        let parts = partition_rows_of_batch(&cols, 300, bits);
+        assert_eq!(parts.len(), 4);
+        let mut all: Vec<usize> = Vec::new();
+        for p in &parts {
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "partition rows must ascend");
+            all.extend(p);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..300).collect::<Vec<_>>());
+        // 35 distinct (int, str) keys; each must live in exactly one
+        // partition.
+        let key_of = |r: &usize| (r % 7, r % 5);
+        for i in 0..7 {
+            for s in 0..5 {
+                let holders =
+                    parts.iter().filter(|p| p.iter().any(|r| key_of(r) == (i, s))).count();
+                assert_eq!(holders, 1, "key ({i},{s}) split across partitions");
+            }
+        }
+        // bits == 0 degenerates to one partition holding everything.
+        let one = partition_rows_of_batch(&cols, 300, 0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].len(), 300);
+    }
+
+    #[test]
     fn empty_input_yields_empty_partitions() {
         let keys: Vec<i64> = vec![];
-        let cfg = ParallelConfig { threads: 2, morsel_rows: 16 };
+        let cfg = ParallelConfig { threads: 2, morsel_rows: 16, agg_radix: None };
         let parts = hash_partition_rows(&[&keys], 1, &cfg).unwrap();
         assert!(parts.iter().all(|p| p.is_empty()));
     }

@@ -33,6 +33,12 @@ use crate::error::{ExecError, Result};
 
 /// Run `task(0..ntasks)` on up to `threads` workers, returning the results
 /// in task order.
+///
+/// Each call spawns and joins a scoped thread set, so multi-phase
+/// operators pay the spawn cost per fan-out — radix-partitioned
+/// aggregation, for instance, runs two back-to-back fan-outs (one over
+/// morsels, one over partitions), and every join probe round is one more.
+/// That recurring cost is the ROADMAP's "persistent worker pool" item.
 pub fn run_tasks<T, F>(threads: usize, ntasks: usize, task: F) -> Result<Vec<T>>
 where
     T: Send,

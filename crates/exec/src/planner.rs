@@ -667,12 +667,13 @@ impl<'a> Planner<'a> {
 
         // Strategy precedence: the two *memory-bounded* serial strategies —
         // sandwich (group-at-a-time, BDCC) and streaming (ordered input) —
-        // win over morsel-parallel partial aggregation, which holds every
-        // group across its per-worker hash states: for fine-grained
-        // group-bys (Q18's GROUP BY l_orderkey) partials give ~no
-        // reduction, so trading bounded memory for parallelism there is a
-        // regression. Leaf scans below sandwich/streaming still
-        // parallelize via [`ParallelScan`].
+        // win over morsel-parallel aggregation: both hold at most one
+        // co-cluster's (or one run's) worth of state, which neither
+        // parallel strategy can beat (partials duplicate shared groups
+        // per morsel; radix materializes a partitioned copy of the
+        // input). Leaf scans below sandwich/streaming still parallelize
+        // via [`ParallelScan`]. Within [`ParallelAggregate`] itself the
+        // strategy choice is cardinality-driven (see below).
 
         // BDCC: sandwich aggregation on determined instances.
         if self.ctx.sdb.scheme == Scheme::Bdcc && !group_by.is_empty() {
@@ -705,10 +706,16 @@ impl<'a> Planner<'a> {
         }
 
         // Parallel: when the input is a single-scan fragment (scan →
-        // filter/project chain), aggregate it morsel-parallel with partial
-        // states merged in morsel order — identical results to the hash
-        // aggregate it replaces, and the fragment is where the rows (and
-        // the time) are.
+        // filter/project chain), aggregate it morsel-parallel — identical
+        // results to the hash aggregate it replaces, and the fragment is
+        // where the rows (and the time) are. The operator picks between
+        // per-morsel partials (coarse group-bys, tiny tables) and
+        // radix-partitioned aggregation (fine-grained group-bys: rows
+        // hash-partition by group key so each group lives in exactly one
+        // worker-local table) by probing two sample morsels for group
+        // density and cross-morsel duplication (`choose_radix`),
+        // overridable through `ParallelConfig::agg_radix`
+        // (`BDCC_AGG_RADIX`).
         if let Some(cfg) = self.ctx.parallel.clone() {
             if let Some(fragment) = self.leaf_fragment(input)? {
                 if cfg.worth_splitting(fragment.scan.total_rows()) {

@@ -1,0 +1,285 @@
+//! Property tests of the aggregation paths: random batches × random group
+//! keys × every aggregate kind (Sum/Avg/Min/Max/Count/CountDistinct,
+//! including the Neumaier-compensated float Sum/Avg), checked against a
+//! naive HashMap reference, with three-way equivalence across execution
+//! strategies:
+//!
+//! * **serial** (`HashAggregate`) must match the naive reference — values
+//!   and first-seen group order;
+//! * **radix-partitioned** (`ParallelAggregate` with `agg_radix` forced
+//!   on) must be **bit-identical** to serial, floats included — each
+//!   group's rows fold in serial stream order inside its one partition;
+//! * **parallel-partial** (`agg_radix` forced off) must match serial
+//!   exactly on group keys, group order and integer aggregates, and to
+//!   ~1 ulp on compensated float sums (partials associate differently).
+//!
+//! Thread counts {1, 2, 4} and tiny morsels (`BDCC_MORSEL_ROWS`, default
+//! 16, over 8-row storage blocks) force many-morsel fan-outs on
+//! laptop-sized inputs.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use bdcc::exec::batch::Batch;
+use bdcc::exec::ops::agg::HashAggregate;
+use bdcc::exec::ops::scan::PlainScan;
+use bdcc::exec::ops::{collect, BoxedOp};
+use bdcc::exec::parallel::{FragmentBlueprint, ParallelAggregate, ScanBlueprint, ScanKind};
+use bdcc::exec::{AggFunc, AggSpec, Expr, MemoryTracker, ParallelConfig};
+use bdcc::storage::{Column, StoredTable};
+use bdcc_storage::IoTracker;
+
+/// Morsel size under test (`BDCC_MORSEL_ROWS`, default 16): small enough
+/// that even a 30-row random input splits into several morsels.
+fn test_morsel_rows() -> usize {
+    std::env::var("BDCC_MORSEL_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
+}
+
+/// One random input row: integer group key, string-group selector, and an
+/// integer measure (the float measure derives from it).
+type Row = (i64, i64, i64);
+
+/// The float measure of a row: an inexact decimal scale so float sums
+/// actually exercise rounding (and the compensation), plus sign changes
+/// for cancellation.
+fn fval(v: i64) -> f64 {
+    v as f64 * 0.1 - 0.55
+}
+
+fn build_table(rows: &[Row]) -> Arc<StoredTable> {
+    let g: Vec<i64> = rows.iter().map(|r| r.0).collect();
+    let s: Vec<String> = rows.iter().map(|r| format!("s{}", r.1)).collect();
+    let v: Vec<i64> = rows.iter().map(|r| r.2).collect();
+    let f: Vec<f64> = rows.iter().map(|r| fval(r.2)).collect();
+    Arc::new(
+        StoredTable::from_columns_with_block_rows(
+            "t",
+            vec![
+                ("g".into(), Column::from_i64(g)),
+                ("s".into(), Column::from_strings(s)),
+                ("v".into(), Column::from_i64(v)),
+                ("f".into(), Column::from_f64(f)),
+            ],
+            8, // tiny MinMax blocks → many morsels at tiny morsel sizes
+        )
+        .unwrap(),
+    )
+}
+
+/// Every aggregate kind over the two measures.
+fn all_aggs() -> Vec<AggSpec> {
+    vec![
+        AggSpec::new(AggFunc::Sum, Expr::col("v"), "sum_v"),
+        AggSpec::new(AggFunc::Sum, Expr::col("f"), "sum_f"),
+        AggSpec::new(AggFunc::Avg, Expr::col("f"), "avg_f"),
+        AggSpec::new(AggFunc::Min, Expr::col("v"), "min_v"),
+        AggSpec::new(AggFunc::Max, Expr::col("f"), "max_f"),
+        AggSpec::new(AggFunc::Count, Expr::lit(1), "cnt"),
+        AggSpec::new(AggFunc::CountDistinct, Expr::col("v"), "nd_v"),
+    ]
+}
+
+const COLS: [&str; 4] = ["g", "s", "v", "f"];
+
+fn serial(t: &Arc<StoredTable>, group_by: &[&str]) -> Batch {
+    let scan: BoxedOp =
+        Box::new(PlainScan::new(Arc::clone(t), IoTracker::new(), &COLS, vec![]).unwrap());
+    collect(Box::new(HashAggregate::new(scan, group_by, all_aggs(), MemoryTracker::new()).unwrap()))
+        .unwrap()
+}
+
+fn parallel(t: &Arc<StoredTable>, group_by: &[&str], threads: usize, radix: bool) -> Batch {
+    let bp = ScanBlueprint {
+        table: Arc::clone(t),
+        columns: COLS.iter().map(|c| c.to_string()).collect(),
+        predicates: vec![],
+        kind: ScanKind::Plain,
+    };
+    let cfg = ParallelConfig { threads, morsel_rows: test_morsel_rows(), agg_radix: Some(radix) };
+    collect(Box::new(
+        ParallelAggregate::new(
+            FragmentBlueprint { scan: bp, steps: vec![] },
+            group_by,
+            all_aggs(),
+            IoTracker::new(),
+            cfg,
+            MemoryTracker::new(),
+        )
+        .unwrap(),
+    ))
+    .unwrap()
+}
+
+/// Naive reference state for one group.
+#[derive(Default)]
+struct RefState {
+    sum_v: i64,
+    sum_f: f64,
+    n: u64,
+    min_v: Option<i64>,
+    max_f: Option<f64>,
+    distinct: HashSet<i64>,
+}
+
+/// Naive reference: plain HashMap + first-seen order, scalar arithmetic.
+fn reference<K: std::hash::Hash + Eq + Clone>(
+    rows: &[Row],
+    key_of: impl Fn(&Row) -> K,
+) -> (Vec<K>, HashMap<K, RefState>) {
+    let mut order = Vec::new();
+    let mut states: HashMap<K, RefState> = HashMap::new();
+    for r in rows {
+        let k = key_of(r);
+        let st = states.entry(k.clone()).or_insert_with(|| {
+            order.push(k.clone());
+            RefState::default()
+        });
+        st.sum_v += r.2;
+        st.sum_f += fval(r.2);
+        st.n += 1;
+        st.min_v = Some(st.min_v.map_or(r.2, |m| m.min(r.2)));
+        st.max_f = Some(st.max_f.map_or(fval(r.2), |m: f64| m.max(fval(r.2))));
+        st.distinct.insert(r.2);
+    }
+    (order, states)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Assert `got` (group key columns first, then `all_aggs()` outputs)
+/// matches the naive reference values in first-seen order.
+fn assert_matches_reference<K: std::hash::Hash + Eq>(
+    got: &Batch,
+    key_cols: usize,
+    order: &[K],
+    states: &HashMap<K, RefState>,
+    row_key: impl Fn(&Batch, usize) -> K,
+) {
+    assert_eq!(got.rows(), order.len(), "group count");
+    let a = key_cols; // first aggregate column
+    for (i, k) in order.iter().enumerate() {
+        assert!(row_key(got, i) == *k, "group {i} out of first-seen order");
+        let st = &states[k];
+        assert_eq!(got.columns[a].as_i64().unwrap()[i], st.sum_v, "sum_v of group {i}");
+        assert!(close(got.columns[a + 1].as_f64().unwrap()[i], st.sum_f), "sum_f of group {i}");
+        assert!(
+            close(got.columns[a + 2].as_f64().unwrap()[i], st.sum_f / st.n as f64),
+            "avg_f of group {i}"
+        );
+        assert_eq!(got.columns[a + 3].as_i64().unwrap()[i], st.min_v.unwrap(), "min_v");
+        assert_eq!(got.columns[a + 4].as_f64().unwrap()[i], st.max_f.unwrap(), "max_f");
+        assert_eq!(got.columns[a + 5].as_i64().unwrap()[i], st.n as i64, "cnt");
+        assert_eq!(got.columns[a + 6].as_i64().unwrap()[i], st.distinct.len() as i64, "nd_v");
+    }
+}
+
+/// Partial-merge outputs may differ from serial by ~1 ulp on the
+/// compensated float sum columns (different association); everything else
+/// — group keys, group order, integer aggregates, min/max — must be
+/// exactly equal.
+fn assert_equivalent_modulo_float_ulp(serial: &Batch, partial: &Batch) {
+    assert_eq!(serial.rows(), partial.rows());
+    assert_eq!(serial.columns.len(), partial.columns.len());
+    for (c, (s, p)) in serial.columns.iter().zip(&partial.columns).enumerate() {
+        match (s.as_f64(), p.as_f64()) {
+            (Ok(sv), Ok(pv)) => {
+                for (i, (a, b)) in sv.iter().zip(pv).enumerate() {
+                    assert!(close(*a, *b), "col {c} row {i}: {a} vs {b}");
+                }
+            }
+            _ => assert_eq!(s, p, "col {c} must match exactly"),
+        }
+    }
+}
+
+proptest! {
+    /// Integer group keys: serial == naive reference; radix is
+    /// bit-identical to serial; parallel-partial matches modulo float
+    /// association — across threads {1, 2, 4}.
+    #[test]
+    fn aggregation_strategies_agree_on_int_keys(
+        rows in prop::collection::vec((0i64..15, 0i64..4, -50i64..50), 1..200),
+    ) {
+        let t = build_table(&rows);
+        let s = serial(&t, &["g"]);
+        let (order, states) = reference(&rows, |r| r.0);
+        assert_matches_reference(&s, 1, &order, &states, |b, i| {
+            b.columns[0].as_i64().unwrap()[i]
+        });
+        for threads in [1usize, 2, 4] {
+            let radix = parallel(&t, &["g"], threads, true);
+            prop_assert_eq!(&s, &radix, "radix must be bit-identical ({} threads)", threads);
+            let partial = parallel(&t, &["g"], threads, false);
+            assert_equivalent_modulo_float_ulp(&s, &partial);
+        }
+    }
+
+    /// Composite (string, int) group keys route through the shared key
+    /// codec; same three-way equivalence.
+    #[test]
+    fn aggregation_strategies_agree_on_composite_keys(
+        rows in prop::collection::vec((0i64..6, 0i64..5, -50i64..50), 1..160),
+        threads in 2usize..5,
+    ) {
+        let t = build_table(&rows);
+        let s = serial(&t, &["s", "g"]);
+        let (order, states) = reference(&rows, |r| (format!("s{}", r.1), r.0));
+        assert_matches_reference(&s, 2, &order, &states, |b, i| {
+            (
+                b.columns[0].as_str().unwrap()[i].clone(),
+                b.columns[1].as_i64().unwrap()[i],
+            )
+        });
+        let radix = parallel(&t, &["s", "g"], threads, true);
+        prop_assert_eq!(&s, &radix, "radix must be bit-identical ({} threads)", threads);
+        let partial = parallel(&t, &["s", "g"], threads, false);
+        assert_equivalent_modulo_float_ulp(&s, &partial);
+    }
+
+    /// Degenerate key distributions: a single group (everything collides
+    /// into one partition) and all-distinct groups (per-row groups, the
+    /// radix sweet spot) — plus the auto heuristic, which must agree with
+    /// both forced paths whatever it picks.
+    #[test]
+    fn degenerate_group_distributions(
+        n in 1usize..120,
+        measure in -30i64..30,
+        distinct in any::<bool>(),
+        threads in 2usize..5,
+    ) {
+        let rows: Vec<Row> = (0..n as i64)
+            .map(|i| (if distinct { i } else { 7 }, i % 3, measure + i % 11))
+            .collect();
+        let t = build_table(&rows);
+        let s = serial(&t, &["g"]);
+        let radix = parallel(&t, &["g"], threads, true);
+        prop_assert_eq!(&s, &radix);
+        let partial = parallel(&t, &["g"], threads, false);
+        assert_equivalent_modulo_float_ulp(&s, &partial);
+        // The heuristic path (auto): whatever it picks must still agree.
+        let bp = ScanBlueprint {
+            table: Arc::clone(&t),
+            columns: COLS.iter().map(|c| c.to_string()).collect(),
+            predicates: vec![],
+            kind: ScanKind::Plain,
+        };
+        let cfg = ParallelConfig { threads, morsel_rows: test_morsel_rows(), agg_radix: None };
+        let auto = collect(Box::new(
+            ParallelAggregate::new(
+                FragmentBlueprint { scan: bp, steps: vec![] },
+                &["g"],
+                all_aggs(),
+                IoTracker::new(),
+                cfg,
+                MemoryTracker::new(),
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+        assert_equivalent_modulo_float_ulp(&s, &auto);
+    }
+}

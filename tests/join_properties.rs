@@ -147,7 +147,7 @@ proptest! {
         threads in 2usize..6,
     ) {
         // morsel_rows = 1 forces partitioning at any size.
-        let cfg = ParallelConfig { threads, morsel_rows: 1 };
+        let cfg = ParallelConfig { threads, morsel_rows: 1, agg_radix: None };
         for jt in ALL_TYPES {
             let serial = run_join(&left, &right, jt, false, None);
             let parallel = run_join(&left, &right, jt, false, Some(cfg.clone()));
@@ -170,7 +170,7 @@ proptest! {
     ) {
         // Tiny morsels: every 7-row left batch splits into several probe
         // morsels and probe rounds span multiple batches.
-        let cfg = ParallelConfig { threads, morsel_rows: 3 };
+        let cfg = ParallelConfig { threads, morsel_rows: 3, agg_radix: None };
         for jt in ALL_TYPES {
             let serial = run_join(&left, &right, jt, residual, None);
             let parallel = run_join(&left, &right, jt, residual, Some(cfg.clone()));

@@ -15,11 +15,15 @@
 use std::sync::Arc;
 
 use bdcc::prelude::*;
+use bdcc_exec::ops::agg::HashAggregate;
 use bdcc_exec::ops::bdcc_scan::GroupSpec;
 use bdcc_exec::ops::collect;
+use bdcc_exec::ops::scan::PlainScan;
 use bdcc_exec::parallel::morsel::{split_blocks, split_groups, Morsel};
-use bdcc_exec::parallel::{ParallelScan, ScanBlueprint, ScanKind};
-use bdcc_exec::{MemoryTracker, ParallelConfig, QueryContext};
+use bdcc_exec::parallel::{
+    FragmentBlueprint, ParallelAggregate, ParallelScan, ScanBlueprint, ScanKind,
+};
+use bdcc_exec::{AggFunc, AggSpec, Expr, MemoryTracker, ParallelConfig, QueryContext};
 use bdcc_storage::IoTracker;
 
 /// Worker count under test: `BDCC_THREADS`, default 4 (1 exercises the
@@ -73,7 +77,11 @@ fn rows_equivalent(a: &[String], b: &[String]) -> bool {
 #[test]
 fn all_queries_parallel_equals_serial_on_all_schemes() {
     let (sf, sdbs) = schemes();
-    let par_cfg = ParallelConfig { threads: test_threads(), morsel_rows: test_morsel_rows() };
+    let par_cfg = ParallelConfig {
+        threads: test_threads(),
+        morsel_rows: test_morsel_rows(),
+        agg_radix: ParallelConfig::agg_radix_from_env(),
+    };
     let mut failures = Vec::new();
     for q in all_queries() {
         for sdb in &sdbs {
@@ -117,7 +125,11 @@ fn tiny_morsels_force_partitioned_joins_and_many_sort_runs() {
     // partitioned path and split every sort into many runs; join- and
     // sort-heavy queries must still match serial execution exactly.
     let (sf, sdbs) = schemes();
-    let par_cfg = ParallelConfig { threads: test_threads().max(2), morsel_rows: 32 };
+    let par_cfg = ParallelConfig {
+        threads: test_threads().max(2),
+        morsel_rows: 32,
+        agg_radix: ParallelConfig::agg_radix_from_env(),
+    };
     let heavy = [2usize, 3, 10, 13, 18, 21];
     let mut failures = Vec::new();
     for q in all_queries().into_iter().filter(|q| heavy.contains(&q.id)) {
@@ -154,7 +166,11 @@ fn probe_morsel_matrix_agrees_with_serial() {
     let mut failures = Vec::new();
     for threads in [1, test_threads().max(2)] {
         for morsel_rows in [16, 64] {
-            let cfg = ParallelConfig { threads, morsel_rows };
+            let cfg = ParallelConfig {
+                threads,
+                morsel_rows,
+                agg_radix: ParallelConfig::agg_radix_from_env(),
+            };
             for q in all_queries().into_iter().filter(|q| heavy.contains(&q.id)) {
                 for sdb in &sdbs {
                     let serial = (q.run)(&QueryCtx::new(QueryContext::new(Arc::clone(sdb)), sf));
@@ -222,7 +238,7 @@ fn streaming_scan_memory_stays_morsel_bounded() {
     // table" half of the assertion meaningless, not wrong.
     let threads = test_threads().clamp(2, 4);
     let morsel_rows = 256;
-    let cfg = ParallelConfig { threads, morsel_rows };
+    let cfg = ParallelConfig { threads, morsel_rows, agg_radix: None };
     let tracker = MemoryTracker::new();
     let streamed = collect(Box::new(
         ParallelScan::new(blueprint(&small), IoTracker::new(), cfg, tracker.clone()).unwrap(),
@@ -248,11 +264,102 @@ fn streaming_scan_memory_stays_morsel_bounded() {
 }
 
 #[test]
+fn radix_aggregation_beats_partials_on_high_cardinality_groups() {
+    // The high-cardinality group-by matrix: per-key groups (one group per
+    // ORDERS key / per PART key) over LINEITEM rebuilt with small blocks
+    // and a *shuffled* row order, so group keys scatter across morsels —
+    // the workload where every morsel's partial re-materializes most
+    // groups it touches and the partial fold holds ~O(rows) states. The
+    // radix path must (a) stay byte-identical to serial, and (b) show
+    // strictly lower peak *tracked* memory than the partial-merge path
+    // on the same workload (its phase-1 row materialization is cheaper
+    // than per-morsel group-state duplication).
+    let db = bdcc::tpch::generate(&GenConfig::new(0.005));
+    let li = db.stored_by_name("lineitem").expect("lineitem stored");
+    let rows = li.rows();
+    // Deterministic shuffle: a multiplicative permutation (stride coprime
+    // to the row count).
+    let stride = (0..).map(|k| rows / 2 + 17 + k).find(|s| gcd(*s, rows) == 1).unwrap();
+    let perm: Vec<usize> = (0..rows).map(|i| (i * stride) % rows).collect();
+    let cols = ["l_orderkey", "l_partkey", "l_extendedprice", "l_quantity"];
+    let named: Vec<(String, Column)> = cols
+        .iter()
+        .map(|c| (c.to_string(), li.column_by_name(c).expect("column").gather(&perm)))
+        .collect();
+    let small = Arc::new(
+        StoredTable::from_columns_with_block_rows("lineitem", named, 256).expect("rebuild"),
+    );
+    let aggs = vec![
+        AggSpec::new(AggFunc::Sum, Expr::col("l_extendedprice"), "rev"),
+        AggSpec::new(AggFunc::Avg, Expr::col("l_quantity"), "aq"),
+        AggSpec::new(AggFunc::Count, Expr::lit(1), "n"),
+    ];
+    let blueprint = || ScanBlueprint {
+        table: Arc::clone(&small),
+        columns: cols.iter().map(|c| c.to_string()).collect(),
+        predicates: vec![],
+        kind: ScanKind::Plain,
+    };
+    let run_parallel = |group: &str, threads: usize, radix: bool| {
+        let tracker = MemoryTracker::new();
+        let cfg = ParallelConfig { threads, morsel_rows: 256, agg_radix: Some(radix) };
+        let out = collect(Box::new(
+            ParallelAggregate::new(
+                FragmentBlueprint { scan: blueprint(), steps: vec![] },
+                &[group],
+                aggs.clone(),
+                IoTracker::new(),
+                cfg,
+                tracker.clone(),
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+        (out, tracker.peak())
+    };
+    for group in ["l_orderkey", "l_partkey"] {
+        let scan =
+            Box::new(PlainScan::new(Arc::clone(&small), IoTracker::new(), &cols, vec![]).unwrap());
+        let serial = collect(Box::new(
+            HashAggregate::new(scan, &[group], aggs.clone(), MemoryTracker::new()).unwrap(),
+        ))
+        .unwrap();
+        assert!(serial.rows() > 500, "need a fine-grained group-by, got {}", serial.rows());
+        for threads in [2, 4] {
+            let (radix_out, radix_peak) = run_parallel(group, threads, true);
+            assert_eq!(
+                serial, radix_out,
+                "radix must be byte-identical to serial ({group}, {threads} threads)"
+            );
+            let (partial_out, partial_peak) = run_parallel(group, threads, false);
+            assert!(
+                rows_equivalent(&canonical_rows(&serial), &canonical_rows(&partial_out)),
+                "partial-merge must agree with serial ({group}, {threads} threads)"
+            );
+            assert!(
+                radix_peak < partial_peak,
+                "radix peak {radix_peak} must undercut partial-merge peak {partial_peak} \
+                 ({group}, {threads} threads, {} groups)",
+                serial.rows()
+            );
+        }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[test]
 fn single_thread_config_plans_serially_and_agrees() {
     // threads = 1 must take the serial paths (worth_splitting is false)
     // and still produce the same answers.
     let (sf, sdbs) = schemes();
-    let cfg = ParallelConfig { threads: 1, morsel_rows: 256 };
+    let cfg = ParallelConfig { threads: 1, morsel_rows: 256, agg_radix: None };
     let q6 = all_queries().into_iter().find(|q| q.id == 6).unwrap();
     for sdb in &sdbs {
         let serial = (q6.run)(&QueryCtx::new(QueryContext::new(Arc::clone(sdb)), sf)).unwrap();
