@@ -1,0 +1,133 @@
+//! E-POOL — per-round dispatch latency: spawn-per-fan-out vs the
+//! persistent worker pool.
+//!
+//! Every parallel operator issues *rounds* of fan-outs (a probe round, a
+//! radix phase, a batch of sort runs). Before the persistent pool, each
+//! round paid `std::thread::scope` create/join; now it pays queue
+//! operations against parked workers. This bench measures exactly that
+//! recurring cost, two ways:
+//!
+//! * **empty rounds** — `ntasks` no-op tasks: the pure dispatch floor,
+//!   nothing but fan-out machinery;
+//! * **small rounds** — summing a 32k-row column in morsel-sized chunks:
+//!   the default probe-round shape (threads × 8192 rows), where dispatch
+//!   was ~5% of the round before the pool.
+//!
+//! For the small rounds, *overhead* is the measured round latency minus
+//! the inline serial latency of the same work — the part the fan-out
+//! machinery adds. The acceptance bar is overhead(spawn) ≥ 2×
+//! overhead(pool). Thread count from `BDCC_THREADS` (first value, default
+//! 4). Prints a table and, last, one JSON line
+//! (`{"bench":"pool_overhead",...}`) recorded as `BENCH_pool.json`.
+
+use std::time::Instant;
+
+use bdcc_bench::print_table;
+use bdcc_exec::parallel::pool::{run_tasks, run_tasks_spawning, WorkerPool};
+use bdcc_exec::Result;
+
+fn threads_under_test() -> usize {
+    std::env::var("BDCC_THREADS")
+        .ok()
+        .and_then(|v| v.split(',').next().and_then(|t| t.parse().ok()))
+        .filter(|&t| t > 1)
+        .unwrap_or(4)
+}
+
+/// Mean seconds per invocation of `f`, with warm-up.
+fn timed<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..3 {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let threads = threads_under_test();
+    let rows: usize = 32 * 1024;
+    let morsel = 4 * 1024; // 8 tasks per small round
+    let ntasks = rows / morsel;
+    let data: Vec<i64> = (0..rows as i64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let reps = 300;
+
+    // Warm the persistent pool once (exactly what QueryContext does), so
+    // the measurement sees the steady state every query after the first
+    // one sees.
+    WorkerPool::shared().ensure_workers(threads);
+
+    let sum_chunk = |t: usize| -> Result<i64> {
+        let lo = t * morsel;
+        Ok(data[lo..(lo + morsel).min(rows)].iter().sum())
+    };
+    let noop = |_t: usize| -> Result<()> { Ok(()) };
+
+    // Pure dispatch: empty rounds.
+    let empty_spawn_s = timed(reps, || run_tasks_spawning(threads, ntasks, noop).expect("spawn"));
+    let empty_pool_s = timed(reps, || run_tasks(threads, ntasks, noop).expect("pool"));
+
+    // Small rounds (~32k rows), the default probe-round shape.
+    let serial_s =
+        timed(reps, || -> i64 { (0..ntasks).map(|t| sum_chunk(t).expect("serial")).sum() });
+    let small_spawn_s =
+        timed(reps, || run_tasks_spawning(threads, ntasks, sum_chunk).expect("spawn"));
+    let small_pool_s = timed(reps, || run_tasks(threads, ntasks, sum_chunk).expect("pool"));
+
+    let spawn_overhead_s = (small_spawn_s - serial_s).max(0.0);
+    let pool_overhead_s = (small_pool_s - serial_s).max(0.0);
+    let us = |s: f64| s * 1e6;
+
+    let mut table = Vec::new();
+    let mut row = |variant: &str, round_s: f64, overhead_s: f64| {
+        table.push(vec![
+            variant.to_string(),
+            threads.to_string(),
+            ntasks.to_string(),
+            format!("{:.2}", us(round_s)),
+            format!("{:.2}", us(overhead_s)),
+        ]);
+    };
+    row("empty_spawn", empty_spawn_s, empty_spawn_s);
+    row("empty_pool", empty_pool_s, empty_pool_s);
+    row("small_serial_inline", serial_s, 0.0);
+    row("small_spawn", small_spawn_s, spawn_overhead_s);
+    row("small_pool", small_pool_s, pool_overhead_s);
+    print_table(&["variant", "threads", "tasks/round", "round_us", "dispatch_overhead_us"], &table);
+
+    let empty_ratio = empty_spawn_s / empty_pool_s.max(1e-12);
+    let small_ratio = spawn_overhead_s / pool_overhead_s.max(1e-12);
+    println!(
+        "per-round dispatch: empty {:.2}us -> {:.2}us ({empty_ratio:.1}x), \
+         32k-row round overhead {:.2}us -> {:.2}us ({small_ratio:.1}x)",
+        us(empty_spawn_s),
+        us(empty_pool_s),
+        us(spawn_overhead_s),
+        us(pool_overhead_s),
+    );
+    let stats = WorkerPool::shared().stats();
+    println!(
+        "{{\"bench\":\"pool_overhead\",\"threads\":{threads},\"tasks_per_round\":{ntasks},\
+         \"rows\":{rows},\"empty_spawn_us\":{:.3},\"empty_pool_us\":{:.3},\
+         \"empty_ratio\":{:.3},\"serial_us\":{:.3},\"small_spawn_us\":{:.3},\
+         \"small_pool_us\":{:.3},\"small_overhead_spawn_us\":{:.3},\
+         \"small_overhead_pool_us\":{:.3},\"small_overhead_ratio\":{:.3},\
+         \"threads_spawned_total\":{}}}",
+        us(empty_spawn_s),
+        us(empty_pool_s),
+        empty_ratio,
+        us(serial_s),
+        us(small_spawn_s),
+        us(small_pool_s),
+        us(spawn_overhead_s),
+        us(pool_overhead_s),
+        small_ratio,
+        stats.threads_spawned_total,
+    );
+    assert!(
+        stats.threads_spawned_total <= threads,
+        "persistent pool must not have spawned beyond warm-up"
+    );
+}

@@ -204,8 +204,10 @@ impl BdccSchema {
 }
 
 /// Steps 1–3 end to end: derive, create dimensions, cluster every table.
-/// Independent tables are clustered in parallel (bulk-load is the expensive
-/// phase).
+/// Independent tables are clustered in parallel on the shared persistent
+/// [`WorkerPool`](bdcc_pool::WorkerPool) (bulk-load is the expensive
+/// phase) — the same parked worker set query execution later fans out on,
+/// so schema build pays no thread create/join either.
 pub fn design_and_cluster(db: &Database, cfg: &DesignConfig) -> Result<BdccSchema> {
     let design = derive_design(db.catalog(), cfg)?;
     let dimensions = create_dimensions(db, &design, &cfg.binning)?;
@@ -215,21 +217,17 @@ pub fn design_and_cluster(db: &Database, cfg: &DesignConfig) -> Result<BdccSchem
         .iter()
         .map(|(&t, uses)| (t, uses.iter().map(|u| (u.dim, u.path.clone())).collect()))
         .collect();
-    let results: Vec<Result<(TableId, BdccTable)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = entries
-            .iter()
-            .map(|(t, specs)| {
-                let dims = &dimensions;
-                let selftune = cfg.selftune;
-                scope
-                    .spawn(move || cluster_table(db, *t, specs, dims, &selftune).map(|bt| (*t, bt)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("cluster thread panicked")).collect()
-    });
+    // Width capped at the machine's parallelism: one task per table, but
+    // never grow the persistent pool to the table count (a wide schema
+    // would otherwise park one thread per table for the process lifetime).
+    let width = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let results: Vec<(TableId, BdccTable)> =
+        bdcc_pool::WorkerPool::shared().scope_run(width, entries.len(), |i| {
+            let (t, specs) = &entries[i];
+            cluster_table(db, *t, specs, &dimensions, &cfg.selftune).map(|bt| (*t, bt))
+        })?;
     let mut tables = BTreeMap::new();
-    for r in results {
-        let (t, bt) = r?;
+    for (t, bt) in results {
         tables.insert(t, bt);
     }
     Ok(BdccSchema { design, dimensions, tables })

@@ -30,6 +30,12 @@ impl From<bdcc_storage::StorageError> for ExecError {
     }
 }
 
+impl From<bdcc_pool::PoolFailure> for ExecError {
+    fn from(e: bdcc_pool::PoolFailure) -> Self {
+        ExecError::Internal(e.to_string())
+    }
+}
+
 impl From<bdcc_catalog::CatalogError> for ExecError {
     fn from(e: bdcc_catalog::CatalogError) -> Self {
         ExecError::Plan(e.to_string())

@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use bdcc_storage::{Column, DataType};
 
@@ -192,9 +192,10 @@ impl HashJoin {
 
     /// Probe one round — serially batch-at-a-time, or (for a big-enough
     /// round under a parallel config) fanned out as `(batch, row range)`
-    /// probe morsels. Per-morsel match lists concatenate in morsel order
-    /// before assembly, so each batch's output is byte-identical to the
-    /// serial probe's.
+    /// probe morsels. Per-morsel match lists concatenate in morsel order,
+    /// and the per-batch output assembly (the column gathers) fans out as
+    /// pool tasks as well, appending outputs in batch order — so each
+    /// batch's output is byte-identical to the serial probe's.
     fn probe_round(&self, round: &[Batch]) -> Result<Vec<Batch>> {
         let build = self.build.as_ref().expect("built");
         let total: usize = round.iter().map(|b| b.rows()).sum();
@@ -259,19 +260,30 @@ impl HashJoin {
                 .collect()
         })?;
         // Pieces flatten back in batch-major, range-ascending order
-        // whatever the task boundaries were; group them per batch and
-        // assemble — identical to the serial probe of that batch.
+        // whatever the task boundaries were; group them per batch, then
+        // fan the per-batch output assembly (match-list concat + column
+        // gathers) out as pool tasks too — the gathers are the dominant
+        // cost of a residual-free inner join round, and each batch's
+        // assembly is independent. `run_tasks` returns in batch order, so
+        // the appended outputs are byte-identical to the serial probe's.
         let mut pieces = per.into_iter().flatten().peekable();
-        let mut outs = Vec::with_capacity(round.len());
-        for (bi, batch) in round.iter().enumerate() {
+        let mut grouped: Vec<Mutex<Vec<MatchLists>>> = Vec::with_capacity(round.len());
+        for bi in 0..round.len() {
             let mut lists = Vec::new();
             while pieces.peek().is_some_and(|(pbi, _)| *pbi == bi) {
                 lists.push(pieces.next().expect("peeked").1);
             }
-            let (lidx, ridx) = merge::concat_match_lists(lists);
-            outs.push(finish_batch(batch, build, self.join_type, self.right_arity, &lidx, &ridx)?);
+            grouped.push(Mutex::new(lists));
         }
-        Ok(outs)
+        let (right_arity, join_type) = (self.right_arity, self.join_type);
+        pool::run_tasks(cfg.threads, round.len(), |bi| {
+            // Each gather task *takes* its batch's match lists (tasks are
+            // per-batch, so the one lock is uncontended and the lists are
+            // never copied).
+            let lists = std::mem::take(&mut *grouped[bi].lock().expect("match lists poisoned"));
+            let (lidx, ridx) = merge::concat_match_lists(lists);
+            finish_batch(&round[bi], build, join_type, right_arity, &lidx, &ridx)
+        })
     }
 }
 
@@ -298,9 +310,13 @@ impl Operator for HashJoin {
     }
 }
 
+/// Match lists of one probe piece or batch: `(left rows, build rows)`,
+/// post-residual, in probe order.
+type MatchLists = (Vec<usize>, Vec<u32>);
+
 /// One probe piece: the originating batch index in the round plus the
 /// piece's (post-residual) match lists.
-type ProbePiece = (usize, (Vec<usize>, Vec<u32>));
+type ProbePiece = (usize, MatchLists);
 
 /// Do we need full `(left, right)` pair lists, or only per-row existence?
 /// Semi/Anti without a residual only ask *whether* a row matches.

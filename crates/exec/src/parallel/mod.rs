@@ -20,14 +20,19 @@
 //!   disjoint row ranges, making them the natural parallelism unit of the
 //!   paper's storage layout.
 //!
-//! A [work-stealing pool](pool) of `std` threads executes per-morsel
-//! operator fragments — scan, then any filter/project steps, then
-//! (when the plan shape allows) a per-worker *partial aggregate*. Leaf
-//! scans additionally stream: [`ParallelScan`] runs its morsels on a
-//! detached producer pool whose results flow through a **bounded reorder
-//! buffer** ([`pool::OrderedStream`]), so downstream operators consume
-//! batches while workers are still scanning and peak memory stays
-//! O(threads × morsel) instead of O(table).
+//! One **persistent, process-wide [work-stealing pool](pool)** of `std`
+//! threads executes per-morsel operator fragments — scan, then any
+//! filter/project steps, then (when the plan shape allows) a per-worker
+//! *partial aggregate*. The pool's workers are created once (warmed by
+//! [`QueryContext::with_parallel`]) and parked between fan-outs, so a
+//! probe round, a radix phase or a sort-run batch costs queue operations,
+//! not thread create/join; nested fan-outs are deadlock-free because a
+//! blocked fan-out lends its calling thread to the pool ([`pool`]
+//! documents the lending rule). Leaf scans additionally stream:
+//! [`ParallelScan`] submits its morsels to the same pool through a
+//! **bounded reorder buffer** ([`pool::OrderedStream`]), so downstream
+//! operators consume batches while workers are still scanning and peak
+//! memory stays O(threads × morsel) instead of O(table).
 //!
 //! Probe-heavy operators morselize *rows* rather than blocks or groups:
 //! the join probe splits each round of probe batches into contiguous row
@@ -221,13 +226,15 @@ enum ScanExec {
 /// reproduction of the serial scan's batch stream, so it can stand in for
 /// a [`PlainScan`]/[`BdccScan`] under *any* serial operator tree.
 ///
-/// Execution is **streaming**: workers publish finished morsels into a
-/// bounded reorder buffer ([`pool::OrderedStream`]) and park once more
-/// than O(`threads`) morsels are in flight, so downstream operators start
-/// consuming while the scan is still running and peak tracked memory is
-/// O(threads × morsel) instead of O(table). Each in-flight morsel's
-/// batches are registered with the memory tracker by the worker that
-/// produced them and released when the consumer moves past the morsel.
+/// Execution is **streaming**: pool workers publish finished morsels into
+/// a bounded reorder buffer ([`pool::OrderedStream`]) that never has more
+/// than O(`threads`) morsels in flight (backpressure by submission
+/// gating — a stalled consumer parks no worker), so downstream operators
+/// start consuming while the scan is still running and peak tracked
+/// memory is O(threads × morsel) instead of O(table). Each in-flight
+/// morsel's batches are registered with the memory tracker by the worker
+/// that produced them and released when the consumer moves past the
+/// morsel.
 ///
 /// [`PlainScan`]: crate::ops::scan::PlainScan
 /// [`BdccScan`]: crate::ops::bdcc_scan::BdccScan

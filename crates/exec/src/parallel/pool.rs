@@ -1,284 +1,105 @@
-//! The work-stealing worker pool and the streaming producer pool.
+//! The execution subsystem's façade over the persistent worker pool.
 //!
-//! Plain `std` threads — no external dependencies. Two execution shapes:
+//! ## Ownership
 //!
-//! * [`run_tasks`] — a *blocking* fan-out over `std::thread::scope`. Tasks
-//!   are indices `0..ntasks`; each worker owns a deque seeded round-robin,
-//!   pops work from the *front* of its own deque, and when empty steals
-//!   from the *back* of a victim's deque (the classic Chase–Lev
-//!   discipline, implemented with mutexed deques, which is plenty at
-//!   morsel granularity: a morsel is thousands of rows, so queue
-//!   operations are a rounding error next to task bodies). Results are
-//!   returned **in task order**, whatever order workers finished in — the
-//!   property every merge in this subsystem relies on for determinism.
-//!   The first task error stops workers from claiming further jobs and is
-//!   propagated after the scope joins; a panicking task propagates the
-//!   panic.
+//! All parallel operator fragments run on **one process-wide, long-lived
+//! [`WorkerPool`]** (re-exported from `bdcc-pool`, the bottom of the
+//! workspace dependency graph — schema clustering shares the same pool).
+//! Nothing in this crate ever spawns a thread: [`QueryContext::with_parallel`]
+//! warms the shared pool to the configured width once, and every fan-out
+//! after that — join build, probe rounds, probe output assembly, sandwich
+//! oversized groups, both radix-aggregation phases, partial-merge
+//! aggregation, sort runs, build-side partitioning, streaming scans —
+//! reuses the same parked workers. The pool only ever grows to the widest
+//! `ParallelConfig::threads` seen; after warm-up no OS thread is created
+//! again (`WorkerPool::stats` pins this in tests), which removes the
+//! ~tens-of-microseconds thread create/join every fan-out used to pay
+//! (the `pool_overhead` bench bin measures the difference).
 //!
-//! * [`OrderedStream`] — a *streaming* fan-out over detached threads with
-//!   a **bounded reorder buffer**: workers claim task indices from an
-//!   ascending counter, park before running a task more than `cap` ahead
-//!   of the consumer, and publish results keyed by task index; the
-//!   consumer's [`recv`](OrderedStream::recv) releases results strictly in
-//!   task order. At most `cap` results are ever in flight (running or
-//!   buffered), which is what bounds a streaming scan's memory at
-//!   O(workers × morsel) instead of O(table). Dropping the stream cancels
-//!   outstanding work and joins the workers.
+//! ## The two execution shapes
+//!
+//! * [`run_tasks`] — the *blocking* fan-out: `task(0..ntasks)` across up
+//!   to `threads` workers, results returned **in task order** whatever
+//!   order workers finished in — the property every merge in this
+//!   subsystem relies on for determinism. `threads == 1` or
+//!   `ntasks <= 1` runs inline on the caller with zero pool interaction.
+//!   The first task error (in task order) propagates after the fan-out
+//!   drains, later tasks are skipped once one fails, and a panicking
+//!   task re-raises on the caller — the exact contract of the
+//!   spawn-per-fan-out implementation this façade replaced (kept as
+//!   [`run_tasks_spawning`] for the benchmark baseline).
+//!
+//! * [`OrderedStream`] — the *streaming* fan-out with a **bounded reorder
+//!   buffer**: at most `cap` tasks are submitted beyond the consumer's
+//!   position, [`recv`](OrderedStream::recv) releases results strictly in
+//!   task order, and backpressure works by *submission gating* (a stalled
+//!   consumer parks no worker — the pool runs other queries' jobs
+//!   instead). At most `cap` results are in flight, which is what bounds
+//!   a streaming scan's memory at O(workers × morsel) instead of
+//!   O(table). Dropping the stream cancels unstarted work, waits for
+//!   in-flight task bodies to retire (no task code runs after drop
+//!   returns — the guarantee memory accounting relies on), and leaves the
+//!   pool ready for the next query.
+//!
+//! ## Lending, or why nested fan-outs cannot deadlock
+//!
+//! While [`run_tasks`] waits, the calling thread is **lent to the pool**:
+//! it drains its own scope's unstarted tasks first, then any other queued
+//! job, and parks only when nothing is runnable. A fan-out issued from
+//! inside another fan-out — a probe round while a streaming scan's
+//! producers are live, an oversized sandwich group inside a probe round,
+//! radix phase 2 behind phase 1 — therefore always has at least its own
+//! caller making progress, so the bottom-most scope finishes and unwinds
+//! the waiters above it. The one rule operators must keep (and all
+//! current ones do): [`OrderedStream::recv`] is a pure wait, so it must
+//! be called from plan-driver threads, never from inside a pool task.
+//!
+//! [`QueryContext::with_parallel`]: crate::planner::QueryContext::with_parallel
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use crate::error::Result;
 
-use crate::error::{ExecError, Result};
+pub use bdcc_pool::{PoolStats, WorkerPool};
 
-/// Run `task(0..ntasks)` on up to `threads` workers, returning the results
-/// in task order.
-///
-/// Each call spawns and joins a scoped thread set, so multi-phase
-/// operators pay the spawn cost per fan-out — radix-partitioned
-/// aggregation, for instance, runs two back-to-back fan-outs (one over
-/// morsels, one over partitions), and every join probe round is one more.
-/// That recurring cost is the ROADMAP's "persistent worker pool" item.
+/// Run `task(0..ntasks)` on up to `threads` shared-pool workers (plus the
+/// lent calling thread), returning the results in task order. The thin
+/// blocking façade over [`WorkerPool::scope_run`] — see the [module
+/// docs](self) for the full contract.
 pub fn run_tasks<T, F>(threads: usize, ntasks: usize, task: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
-    let threads = threads.min(ntasks).max(1);
-    if threads == 1 {
+    let width = threads.min(ntasks);
+    if width <= 1 {
+        // Serial fast path: inline on the caller, zero pool interaction.
         return (0..ntasks).map(&task).collect();
     }
-    // Seed the deques round-robin so neighbouring (usually similarly
-    // sized) morsels spread across workers.
-    let queues: Vec<Mutex<VecDeque<usize>>> =
-        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
-    for t in 0..ntasks {
-        queues[t % threads].lock().expect("queue poisoned").push_back(t);
-    }
-    let slots: Vec<Mutex<Option<Result<T>>>> = (0..ntasks).map(|_| Mutex::new(None)).collect();
-    // Short-circuit flag: once any task errs, workers stop claiming jobs
-    // instead of finishing a fan-out whose query is already doomed.
-    let failed = AtomicBool::new(false);
-
-    std::thread::scope(|scope| {
-        for w in 0..threads {
-            let queues = &queues;
-            let slots = &slots;
-            let task = &task;
-            let failed = &failed;
-            scope.spawn(move || loop {
-                if failed.load(Ordering::Relaxed) {
-                    break;
-                }
-                // Own work first, front-to-back.
-                let mut job = queues[w].lock().expect("queue poisoned").pop_front();
-                if job.is_none() {
-                    // Steal from the back of the first victim with work.
-                    for v in (0..queues.len()).filter(|&v| v != w) {
-                        job = queues[v].lock().expect("queue poisoned").pop_back();
-                        if job.is_some() {
-                            break;
-                        }
-                    }
-                }
-                match job {
-                    Some(j) => {
-                        let r = task(j);
-                        if r.is_err() {
-                            failed.store(true, Ordering::Relaxed);
-                        }
-                        *slots[j].lock().expect("slot poisoned") = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-
-    let mut results: Vec<Option<Result<T>>> =
-        slots.into_iter().map(|s| s.into_inner().expect("slot poisoned")).collect();
-    // Propagate the first *actual* error in task order; unexecuted slots
-    // (skipped after the short-circuit) are not themselves the failure.
-    if let Some(pos) = results.iter().position(|r| matches!(r, Some(Err(_)))) {
-        match results.swap_remove(pos) {
-            Some(Err(e)) => return Err(e),
-            _ => unreachable!("position matched an error"),
-        }
-    }
-    results
-        .into_iter()
-        .map(|r| match r {
-            Some(Ok(v)) => Ok(v),
-            Some(Err(_)) => unreachable!("first error already propagated"),
-            None => Err(ExecError::Internal("worker pool dropped a task".into())),
-        })
-        .collect()
+    WorkerPool::shared().scope_run(width, ntasks, task)
 }
 
-/// Shared state of one streaming fan-out.
-struct StreamState<T> {
-    /// Next unclaimed task index (claims are an ascending prefix).
-    next_claim: usize,
-    /// The consumer's next task index — results below it are released.
-    released: usize,
-    /// Completed results awaiting release, keyed by task index. Occupancy
-    /// is bounded by `cap`: a worker only *runs* task `i` once
-    /// `i < released + cap`.
-    buffer: HashMap<usize, Result<T>>,
-    /// Consumer gone (drop) — workers abandon claimed-but-unstarted work.
-    cancelled: bool,
-    /// A task failed — workers stop claiming; the consumer hits the error
-    /// at its index.
-    failed: bool,
-}
-
-struct StreamShared<T> {
-    state: Mutex<StreamState<T>>,
-    cond: Condvar,
-    ntasks: usize,
-    cap: usize,
-}
-
-/// Streaming ordered fan-out: `threads` detached workers run
-/// `task(0..ntasks)`, the consumer pulls results **in task order**, and at
-/// most `cap` results are in flight at once (backpressure parks producers
-/// that run too far ahead). See the module docs for the full contract.
-pub struct OrderedStream<T> {
-    shared: Arc<StreamShared<T>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
-    /// Next task index to hand out; `ntasks` once exhausted or failed.
-    next: usize,
-}
-
-impl<T: Send + 'static> OrderedStream<T> {
-    /// Spawn the workers. `cap` is clamped to at least `threads` (a
-    /// smaller cap would idle workers without shrinking the in-flight
-    /// bound below one result per worker).
-    pub fn spawn<F>(threads: usize, ntasks: usize, cap: usize, task: F) -> OrderedStream<T>
-    where
-        F: Fn(usize) -> Result<T> + Send + Sync + 'static,
-    {
-        let threads = threads.min(ntasks).max(1);
-        let shared = Arc::new(StreamShared {
-            state: Mutex::new(StreamState {
-                next_claim: 0,
-                released: 0,
-                buffer: HashMap::new(),
-                cancelled: false,
-                failed: false,
-            }),
-            cond: Condvar::new(),
-            ntasks,
-            cap: cap.max(threads),
-        });
-        let task = Arc::new(task);
-        let handles = (0..threads)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let task = Arc::clone(&task);
-                std::thread::spawn(move || stream_worker(&shared, &*task))
-            })
-            .collect();
-        OrderedStream { shared, handles, next: 0 }
-    }
-
-    /// The next task's result, in task order; blocks until a worker
-    /// publishes it. `Ok(None)` after the last task; a task error is
-    /// returned at its index and ends the stream. A *panicking* task is
-    /// published as an [`ExecError::Internal`] at its index (unlike
-    /// [`run_tasks`]' scoped threads, a detached worker dying silently
-    /// would hang this call forever).
-    pub fn recv(&mut self) -> Result<Option<T>> {
-        if self.next >= self.shared.ntasks {
-            return Ok(None);
-        }
-        let i = self.next;
-        let mut st = self.shared.state.lock().expect("stream state poisoned");
-        loop {
-            if let Some(r) = st.buffer.remove(&i) {
-                match r {
-                    Ok(v) => {
-                        self.next += 1;
-                        st.released = self.next;
-                        // Wake producers parked on the in-flight cap.
-                        self.shared.cond.notify_all();
-                        return Ok(Some(v));
-                    }
-                    Err(e) => {
-                        self.next = self.shared.ntasks; // terminal
-                        return Err(e);
-                    }
-                }
-            }
-            st = self.shared.cond.wait(st).expect("stream state poisoned");
-        }
-    }
-}
-
-impl<T> Drop for OrderedStream<T> {
-    fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().expect("stream state poisoned");
-            st.cancelled = true;
-        }
-        self.shared.cond.notify_all();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn stream_worker<T, F>(shared: &StreamShared<T>, task: &F)
+/// The spawn-per-fan-out `run_tasks` this façade replaced: a fresh
+/// `std::thread::scope` per call, same ordering/short-circuit/panic
+/// contract. Kept **only** as the measurable baseline for the
+/// `pool_overhead` bench bin; operators must use [`run_tasks`].
+pub fn run_tasks_spawning<T, F>(threads: usize, ntasks: usize, task: F) -> Result<Vec<T>>
 where
-    F: Fn(usize) -> Result<T>,
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
 {
-    loop {
-        let claim = {
-            let mut st = shared.state.lock().expect("stream state poisoned");
-            if st.cancelled || st.failed || st.next_claim >= shared.ntasks {
-                return;
-            }
-            let claim = st.next_claim;
-            st.next_claim += 1;
-            // Backpressure: park until this task is within `cap` of the
-            // consumer. Claims are an ascending prefix, so the consumer's
-            // next task is always running or buffered, never parked here
-            // (its index satisfies `claim < released + cap` trivially) —
-            // no deadlock.
-            while !st.cancelled && claim >= st.released + shared.cap {
-                st = shared.cond.wait(st).expect("stream state poisoned");
-            }
-            if st.cancelled {
-                return;
-            }
-            claim
-        };
-        // A panicking task must still publish *something*, or the consumer
-        // would wait on its index forever (these are detached threads — a
-        // silently dead worker is a hung query). Surface it as an error at
-        // the task's index instead.
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(claim)))
-            .unwrap_or_else(|p| {
-                let msg = p
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| p.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
-                Err(ExecError::Internal(format!("streaming worker panicked: {msg}")))
-            });
-        let mut st = shared.state.lock().expect("stream state poisoned");
-        if r.is_err() {
-            st.failed = true;
-        }
-        st.buffer.insert(claim, r);
-        shared.cond.notify_all();
-    }
+    bdcc_pool::scope_run_spawning(threads, ntasks, task)
 }
+
+/// Streaming ordered fan-out on the shared pool, specialized to the
+/// executor's error type. See the [module docs](self) and
+/// [`bdcc_pool::OrderedStream`] for the contract.
+pub type OrderedStream<T> = bdcc_pool::OrderedStream<T, crate::error::ExecError>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ExecError;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn results_arrive_in_task_order() {
@@ -311,6 +132,14 @@ mod tests {
     }
 
     #[test]
+    fn single_task_runs_inline_whatever_the_width() {
+        // ntasks <= 1 must not touch the pool at all: before any warm-up
+        // in this process it would otherwise spawn workers for nothing.
+        let out = run_tasks(8, 1, |i| Ok(i + 41)).unwrap();
+        assert_eq!(out, vec![41]);
+    }
+
+    #[test]
     fn errors_propagate() {
         let r: Result<Vec<usize>> =
             run_tasks(
@@ -324,14 +153,14 @@ mod tests {
                     }
                 },
             );
-        assert!(r.is_err());
+        assert!(matches!(r, Err(ExecError::Internal(ref m)) if m == "boom"));
     }
 
     #[test]
     fn error_short_circuits_remaining_tasks() {
-        // Task 0 fails instantly; the rest sleep. Workers must stop
-        // claiming jobs once the failure is flagged, so far fewer than all
-        // tasks execute (the flag is racy by a task or two, not by dozens).
+        // Task 0 fails instantly; the rest sleep. The scope must stop
+        // starting jobs once the failure is flagged, so far fewer than all
+        // tasks execute (racy by a worker's worth of tasks, not dozens).
         let executed = AtomicUsize::new(0);
         let r: Result<Vec<usize>> = run_tasks(2, 64, |i| {
             executed.fetch_add(1, Ordering::Relaxed);
@@ -351,8 +180,59 @@ mod tests {
     }
 
     #[test]
+    fn panicking_task_propagates_to_the_caller() {
+        let r = std::panic::catch_unwind(|| {
+            let _ = run_tasks(4, 8, |i| {
+                if i == 3 {
+                    panic!("morsel exploded");
+                }
+                Ok(i)
+            });
+        });
+        assert!(r.is_err(), "scope panic must re-raise on the caller");
+        // The shared pool survives and stays usable.
+        let out = run_tasks(4, 8, Ok).unwrap();
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn nested_fan_outs_do_not_deadlock() {
+        // Every outer task issues an inner fan-out of the same width on
+        // the same shared pool — the shape a probe round inside a
+        // streaming scan produces. Lending the blocked callers is what
+        // keeps this from deadlocking.
+        let out = run_tasks(4, 8, |i| {
+            let inner = run_tasks(4, 6, |j| Ok(i * 10 + j))?;
+            Ok(inner.into_iter().sum::<usize>())
+        })
+        .unwrap();
+        let expect: Vec<usize> =
+            (0..8).map(|i| (0..6).map(|j| i * 10 + j).sum::<usize>()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn warm_pool_never_spawns_again() {
+        // Warm to this test binary's widest fan-out, then hammer the pool
+        // with mixed-width fan-outs: the spawn counter must not move.
+        let _ = run_tasks(8, 16, Ok).unwrap();
+        let warm = WorkerPool::shared().stats().threads_spawned_total;
+        for round in 0..25 {
+            let _ = run_tasks(4, 32, Ok).unwrap();
+            let _ = run_tasks(2 + round % 7, 16, Ok).unwrap();
+            let mut s: OrderedStream<usize> = OrderedStream::spawn(4, 12, 8, Ok);
+            while s.recv().unwrap().is_some() {}
+        }
+        assert_eq!(
+            WorkerPool::shared().stats().threads_spawned_total,
+            warm,
+            "a warm pool must not create OS threads"
+        );
+    }
+
+    #[test]
     fn stream_yields_results_in_task_order() {
-        let mut s = OrderedStream::spawn(4, 23, 8, |i| Ok(i * 3));
+        let mut s: OrderedStream<usize> = OrderedStream::spawn(4, 23, 8, |i| Ok(i * 3));
         let mut got = Vec::new();
         while let Some(v) = s.recv().unwrap() {
             got.push(v);
@@ -365,11 +245,11 @@ mod tests {
     fn stream_bounds_in_flight_results() {
         // Track how many results exist (produced - consumed) at once; with
         // cap 4 the high-water must stay at cap (+ nothing racing past the
-        // park) even though the consumer is slow.
+        // submission gate) even though the consumer is slow.
         let outstanding = Arc::new(AtomicUsize::new(0));
         let high = Arc::new(AtomicUsize::new(0));
         let (o, h) = (Arc::clone(&outstanding), Arc::clone(&high));
-        let mut s = OrderedStream::spawn(4, 40, 4, move |i| {
+        let mut s: OrderedStream<usize> = OrderedStream::spawn(4, 40, 4, move |i| {
             let now = o.fetch_add(1, Ordering::SeqCst) + 1;
             h.fetch_max(now, Ordering::SeqCst);
             Ok(i)
@@ -381,8 +261,8 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 40);
-        // +1 slack: the consumer's decrement happens after next() returns,
-        // so a worker released by that very next() can start (and count)
+        // +1 slack: the consumer's decrement happens after recv() returns,
+        // so a task submitted by that very recv() can start (and count)
         // before the decrement lands — a measurement race, not a cap leak.
         assert!(
             high.load(Ordering::SeqCst) <= 5,
@@ -393,7 +273,7 @@ mod tests {
 
     #[test]
     fn stream_propagates_error_at_its_index() {
-        let mut s = OrderedStream::spawn(3, 10, 4, |i| {
+        let mut s: OrderedStream<usize> = OrderedStream::spawn(3, 10, 4, |i| {
             if i == 5 {
                 Err(ExecError::Internal("boom".into()))
             } else {
@@ -410,8 +290,8 @@ mod tests {
     #[test]
     fn stream_surfaces_worker_panics_as_errors() {
         // A panicking task must not hang the consumer: it publishes an
-        // Internal error at its index and the stream ends there.
-        let mut s = OrderedStream::spawn(3, 8, 4, |i| {
+        // error at its index and the stream ends there.
+        let mut s: OrderedStream<usize> = OrderedStream::spawn(3, 8, 4, |i| {
             if i == 4 {
                 panic!("morsel exploded");
             }
@@ -430,16 +310,26 @@ mod tests {
     }
 
     #[test]
-    fn dropping_a_stream_midway_joins_workers() {
-        // Consume a few results, then drop: Drop must cancel parked and
-        // unclaimed work and join every worker without hanging.
-        let mut s = OrderedStream::spawn(4, 100, 4, |i| {
+    fn dropping_a_stream_midway_cancels_outstanding_work() {
+        // Consume a few results, then drop: unstarted tasks are cancelled,
+        // in-flight task bodies retire before drop returns, and the pool
+        // stays usable.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        let mut s: OrderedStream<usize> = OrderedStream::spawn(4, 500, 4, move |i| {
+            r.fetch_add(1, Ordering::SeqCst);
             std::thread::sleep(std::time::Duration::from_micros(100));
             Ok(i)
         });
         assert_eq!(s.recv().unwrap(), Some(0));
         assert_eq!(s.recv().unwrap(), Some(1));
         drop(s);
+        assert!(
+            ran.load(Ordering::SeqCst) < 500,
+            "drop must cancel the unstarted tail of the stream"
+        );
+        let out = run_tasks(4, 8, Ok).unwrap();
+        assert_eq!(out.len(), 8, "pool must stay usable after a cancelled stream");
     }
 
     #[test]
@@ -450,7 +340,7 @@ mod tests {
 
     #[test]
     fn uneven_task_durations_balance() {
-        // Long tasks at the front of one queue; stealing must keep every
+        // Long tasks at the front of one deque; stealing must keep every
         // task accounted for.
         let out = run_tasks(4, 32, |i| {
             if i % 4 == 0 {
@@ -460,5 +350,20 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_with_nested_blocking_fan_out_per_morsel() {
+        // The full nested shape: a live streaming fan-out whose consumer
+        // issues a blocking fan-out per released morsel (exactly what a
+        // parallel probe over a streaming scan does).
+        let mut s: OrderedStream<usize> = OrderedStream::spawn(4, 20, 8, Ok);
+        let mut total = 0usize;
+        while let Some(v) = s.recv().unwrap() {
+            let part = run_tasks(4, 5, |j| Ok(v * 100 + j)).unwrap();
+            total += part.into_iter().sum::<usize>();
+        }
+        let expect: usize = (0..20).map(|v| (0..5).map(|j| v * 100 + j).sum::<usize>()).sum();
+        assert_eq!(total, expect);
     }
 }

@@ -62,8 +62,17 @@ impl QueryContext {
         QueryContext { sdb, tracker: MemoryTracker::new(), io: IoTracker::new(), parallel: None }
     }
 
-    /// A context that executes with morsel-driven parallelism.
+    /// A context that executes with morsel-driven parallelism. Warms the
+    /// process-wide persistent [`WorkerPool`](crate::parallel::pool::WorkerPool)
+    /// to the configured width up front, so no fan-out of this (or any
+    /// later) query ever creates an OS thread — every parallel operator
+    /// the planner installs runs on the same parked worker set.
     pub fn with_parallel(sdb: Arc<SchemeDb>, parallel: ParallelConfig) -> QueryContext {
+        // threads == 1 plans serially and every fan-out inlines — don't
+        // park a worker thread nothing will ever use.
+        if parallel.threads > 1 {
+            crate::parallel::pool::WorkerPool::shared().ensure_workers(parallel.threads);
+        }
         QueryContext {
             sdb,
             tracker: MemoryTracker::new(),
