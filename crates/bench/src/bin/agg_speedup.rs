@@ -13,12 +13,13 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use bdcc_bench::{generate_db, mb, print_table, scale_factor};
+use bdcc_bench::{generate_db, mb, print_table, r3, scale_factor, BenchReport};
 use bdcc_exec::ops::agg::HashAggregate;
 use bdcc_exec::ops::scan::PlainScan;
 use bdcc_exec::ops::{collect, BoxedOp};
 use bdcc_exec::parallel::{FragmentBlueprint, ParallelAggregate, ScanBlueprint, ScanKind};
 use bdcc_exec::{AggFunc, AggSpec, Expr, MemoryTracker, ParallelConfig};
+use bdcc_obs::json::Obj;
 use bdcc_storage::{IoTracker, StoredTable};
 
 /// One benchmark workload: scanned columns, group-by keys and aggregates
@@ -133,7 +134,8 @@ fn main() {
     let reps = 5;
 
     let mut table_rows = Vec::new();
-    let mut json = Vec::new();
+    let mut report =
+        BenchReport::new("agg_radix").f64("sf", sf).usize("rows", rows).usize("cores", cores);
     let mut record = |workload: &str,
                       variant: &str,
                       t: usize,
@@ -151,14 +153,17 @@ fn main() {
             groups.to_string(),
             mb(peak),
         ]);
-        json.push(format!(
-            "{{\"workload\":\"{workload}\",\"variant\":\"{variant}\",\"threads\":{t},\
-                 \"agg_ms\":{:.3},\"mrows_per_s\":{:.3},\"speedup\":{:.3},\"groups\":{groups},\
-                 \"peak_bytes\":{peak}}}",
-            secs * 1000.0,
-            mrows_per_s(rows, secs),
-            base_s / secs,
-        ));
+        report.result(
+            Obj::new()
+                .str("workload", workload)
+                .str("variant", variant)
+                .usize("threads", t)
+                .f64("agg_ms", r3(secs * 1000.0))
+                .f64("mrows_per_s", r3(mrows_per_s(rows, secs)))
+                .f64("speedup", r3(base_s / secs))
+                .usize("groups", groups)
+                .u64("peak_bytes", peak),
+        );
     };
 
     for w in &workloads() {
@@ -178,13 +183,10 @@ fn main() {
         }
     }
 
+    let _ = record; // end the closure's borrows of the table and report
     print_table(
         &["workload", "variant", "threads", "ms", "Mrows/s", "speedup", "groups", "peak MB"],
         &table_rows,
     );
-    println!(
-        "{{\"bench\":\"agg_radix\",\"sf\":{sf},\"rows\":{rows},\"cores\":{cores},\
-         \"results\":[{}]}}",
-        json.join(",")
-    );
+    report.print();
 }

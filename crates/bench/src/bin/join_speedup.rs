@@ -12,9 +12,12 @@
 
 use std::time::Instant;
 
-use bdcc_bench::{baseline_join_build, generate_db, print_table, probe_all, scale_factor};
+use bdcc_bench::{
+    baseline_join_build, generate_db, print_table, probe_all, r3, scale_factor, BenchReport,
+};
 use bdcc_exec::hash::JoinIndex;
 use bdcc_exec::ParallelConfig;
+use bdcc_obs::json::Obj;
 
 fn timed<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     f(); // warm up
@@ -53,7 +56,8 @@ fn main() {
         vec![("l_orderkey", vec![&okey]), ("l_orderkey,l_partkey", vec![&okey, &pkey])];
 
     let mut table_rows = Vec::new();
-    let mut json_variants = Vec::new();
+    let mut report =
+        BenchReport::new("join_build").f64("sf", sf).usize("rows", rows).usize("cores", cores);
     for (name, key_cols) in &key_sets {
         // Build throughput.
         let base_s = timed(reps, || baseline_join_build(key_cols));
@@ -82,13 +86,15 @@ fn main() {
                 format!("{:.2}", mrows_per_s(rows, *secs)),
                 format!("{:.2}x", base_s / secs),
             ]);
-            json_variants.push(format!(
-                "{{\"keys\":\"{name}\",\"variant\":\"{variant}\",\"threads\":{t},\
-                 \"build_ms\":{:.3},\"mrows_per_s\":{:.3},\"speedup_vs_baseline\":{:.3}}}",
-                secs * 1000.0,
-                mrows_per_s(rows, *secs),
-                base_s / secs,
-            ));
+            report.result(
+                Obj::new()
+                    .str("keys", name)
+                    .str("variant", variant)
+                    .usize("threads", *t)
+                    .f64("build_ms", r3(secs * 1000.0))
+                    .f64("mrows_per_s", r3(mrows_per_s(rows, *secs)))
+                    .f64("speedup_vs_baseline", r3(base_s / secs)),
+            );
         }
         table_rows.push(vec![
             name.to_string(),
@@ -98,17 +104,15 @@ fn main() {
             format!("{:.2}", mrows_per_s(rows, probe_s)),
             "-".into(),
         ]);
-        json_variants.push(format!(
-            "{{\"keys\":\"{name}\",\"variant\":\"flat_probe\",\"threads\":1,\
-             \"build_ms\":{:.3},\"mrows_per_s\":{:.3}}}",
-            probe_s * 1000.0,
-            mrows_per_s(rows, probe_s),
-        ));
+        report.result(
+            Obj::new()
+                .str("keys", name)
+                .str("variant", "flat_probe")
+                .usize("threads", 1)
+                .f64("build_ms", r3(probe_s * 1000.0))
+                .f64("mrows_per_s", r3(mrows_per_s(rows, probe_s))),
+        );
     }
     print_table(&["keys", "variant", "threads", "ms", "Mrows/s", "vs baseline"], &table_rows);
-    println!(
-        "{{\"bench\":\"join_build\",\"sf\":{sf},\"rows\":{rows},\"cores\":{cores},\
-         \"results\":[{}]}}",
-        json_variants.join(",")
-    );
+    report.print();
 }

@@ -1,7 +1,9 @@
 //! Parallel speedup report: Q1 and Q6 under each scheme, executed with 1
 //! and 4 morsel workers, with the measured speedup. Scale factor from
 //! `BDCC_SF` (default 0.01); thread counts from `BDCC_THREADS` (comma
-//! separated, default `1,4`).
+//! separated, default `1,4`). Prints a table and, last, one JSON line
+//! (`{"bench":"par_speedup",...}`) recorded as `BENCH_par.json` so the
+//! end-to-end speedup trajectory is machine-readable across PRs.
 //!
 //! Note: wall-clock speedup obviously requires the machine to *have*
 //! cores; the report prints the detected parallelism so a 1-core
@@ -10,9 +12,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use bdcc_bench::{build_schemes, generate_db, print_table, scale_factor};
+use bdcc_bench::{build_schemes, generate_db, print_table, r3, scale_factor, BenchReport};
 use bdcc_core::DesignConfig;
 use bdcc_exec::{ParallelConfig, QueryContext};
+use bdcc_obs::json::Obj;
 use bdcc_tpch::{all_queries, QueryCtx};
 
 fn main() {
@@ -29,6 +32,7 @@ fn main() {
     let queries = all_queries();
 
     let mut rows = Vec::new();
+    let mut report = BenchReport::new("par_speedup").f64("sf", sf).usize("cores", cores);
     for qid in [1usize, 6] {
         let q = queries.iter().find(|q| q.id == qid).unwrap();
         for sdb in &schemes {
@@ -63,8 +67,17 @@ fn main() {
                     format!("{:.2}", secs * 1000.0),
                     format!("{:.2}x", if secs > 0.0 { base / secs } else { 0.0 }),
                 ]);
+                report.result(
+                    Obj::new()
+                        .str("query", &format!("Q{qid:02}"))
+                        .str("scheme", sdb.scheme.name())
+                        .usize("threads", t)
+                        .f64("ms", r3(secs * 1000.0))
+                        .f64("speedup", r3(if secs > 0.0 { base / secs } else { 0.0 })),
+                );
             }
         }
     }
     print_table(&["query", "scheme", "threads", "ms", "speedup"], &rows);
+    report.print();
 }

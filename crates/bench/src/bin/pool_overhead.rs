@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use bdcc_bench::print_table;
+use bdcc_bench::{print_table, r3, BenchReport};
 use bdcc_exec::parallel::pool::{run_tasks, run_tasks_spawning, WorkerPool};
 use bdcc_exec::Result;
 
@@ -108,24 +108,21 @@ fn main() {
         us(pool_overhead_s),
     );
     let stats = WorkerPool::shared().stats();
-    println!(
-        "{{\"bench\":\"pool_overhead\",\"threads\":{threads},\"tasks_per_round\":{ntasks},\
-         \"rows\":{rows},\"empty_spawn_us\":{:.3},\"empty_pool_us\":{:.3},\
-         \"empty_ratio\":{:.3},\"serial_us\":{:.3},\"small_spawn_us\":{:.3},\
-         \"small_pool_us\":{:.3},\"small_overhead_spawn_us\":{:.3},\
-         \"small_overhead_pool_us\":{:.3},\"small_overhead_ratio\":{:.3},\
-         \"threads_spawned_total\":{}}}",
-        us(empty_spawn_s),
-        us(empty_pool_s),
-        empty_ratio,
-        us(serial_s),
-        us(small_spawn_s),
-        us(small_pool_s),
-        us(spawn_overhead_s),
-        us(pool_overhead_s),
-        small_ratio,
-        stats.threads_spawned_total,
-    );
+    BenchReport::new("pool_overhead")
+        .usize("threads", threads)
+        .usize("tasks_per_round", ntasks)
+        .usize("rows", rows)
+        .f64("empty_spawn_us", r3(us(empty_spawn_s)))
+        .f64("empty_pool_us", r3(us(empty_pool_s)))
+        .f64("empty_ratio", r3(empty_ratio))
+        .f64("serial_us", r3(us(serial_s)))
+        .f64("small_spawn_us", r3(us(small_spawn_s)))
+        .f64("small_pool_us", r3(us(small_pool_s)))
+        .f64("small_overhead_spawn_us", r3(us(spawn_overhead_s)))
+        .f64("small_overhead_pool_us", r3(us(pool_overhead_s)))
+        .f64("small_overhead_ratio", r3(small_ratio))
+        .u64("threads_spawned_total", stats.threads_spawned_total as u64)
+        .print();
     assert!(
         stats.threads_spawned_total <= threads,
         "persistent pool must not have spawned beyond warm-up"

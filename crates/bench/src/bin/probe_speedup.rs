@@ -13,10 +13,12 @@
 use std::time::Instant;
 
 use bdcc_bench::{
-    generate_db, print_table, scale_factor, semi_probe_direct, semi_probe_gather_baseline,
+    generate_db, print_table, r3, scale_factor, semi_probe_direct, semi_probe_gather_baseline,
+    BenchReport,
 };
 use bdcc_exec::hash::JoinIndex;
 use bdcc_exec::ParallelConfig;
+use bdcc_obs::json::Obj;
 use bdcc_storage::Column;
 
 fn timed<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -66,7 +68,8 @@ fn main() {
 
     let probe_cols: Vec<&[i64]> = vec![&probe_keys];
     let mut table_rows = Vec::new();
-    let mut json = Vec::new();
+    let mut report =
+        BenchReport::new("join_probe").f64("sf", sf).usize("rows", rows).usize("cores", cores);
     let mut record = |variant: &str, t: usize, secs: f64, base_s: f64, rows: usize| {
         table_rows.push(vec![
             variant.to_string(),
@@ -75,13 +78,14 @@ fn main() {
             format!("{:.2}", mrows_per_s(rows, secs)),
             format!("{:.2}x", base_s / secs),
         ]);
-        json.push(format!(
-            "{{\"variant\":\"{variant}\",\"threads\":{t},\"probe_ms\":{:.3},\
-             \"mrows_per_s\":{:.3},\"speedup\":{:.3}}}",
-            secs * 1000.0,
-            mrows_per_s(rows, secs),
-            base_s / secs,
-        ));
+        report.result(
+            Obj::new()
+                .str("variant", variant)
+                .usize("threads", t)
+                .f64("probe_ms", r3(secs * 1000.0))
+                .f64("mrows_per_s", r3(mrows_per_s(rows, secs)))
+                .f64("speedup", r3(base_s / secs)),
+        );
     };
 
     // --- Inner-style pair probe: serial loop vs morsel-parallel ----------
@@ -89,9 +93,12 @@ fn main() {
         // Force a genuinely partitioned index for the "partitioned" rows
         // even when BDCC_THREADS lists only 1 (CI's serial matrix cell) —
         // a threads=1 config would silently build serial and the variant
-        // label would lie.
+        // label would lie. Likewise shrink the morsel gate below the
+        // build side: at smoke scale factors ORDERS is smaller than the
+        // default morsel and the build would silently stay serial.
         let build_threads = threads.iter().copied().max().unwrap_or(4).max(2);
-        let cfg_build = ParallelConfig::with_threads(build_threads);
+        let mut cfg_build = ParallelConfig::with_threads(build_threads);
+        cfg_build.morsel_rows = cfg_build.morsel_rows.min(build_keys.len() / 2).max(1);
         let build_cfg = if parallel_build { Some(&cfg_build) } else { None };
         let idx = JoinIndex::build(&[&build_keys], build_cfg).expect("build");
         assert_eq!(
@@ -123,10 +130,7 @@ fn main() {
     let direct_s = timed(reps, || semi_probe_direct(&idx, &probe_cols));
     record("semi_exists_direct", 1, direct_s, base_s, rows);
 
+    let _ = record; // end the closure's borrows of the table and report
     print_table(&["variant", "threads", "ms", "Mrows/s", "speedup"], &table_rows);
-    println!(
-        "{{\"bench\":\"join_probe\",\"sf\":{sf},\"rows\":{rows},\"cores\":{cores},\
-         \"results\":[{}]}}",
-        json.join(",")
-    );
+    report.print();
 }

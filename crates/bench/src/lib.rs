@@ -172,6 +172,70 @@ pub fn semi_probe_direct(idx: &bdcc_exec::JoinIndex, key_cols: &[&[i64]]) -> usi
     lidx.len()
 }
 
+/// The one machine-readable line every bench bin ends with.
+///
+/// Each bin prints, as its *last* stdout line, a single JSON object
+/// `{"bench":"<name>",...,"results":[...]}` that the perf-trajectory
+/// tooling records as `BENCH_<name>.json`. The line used to be a
+/// hand-rolled `format!` string copy-pasted (and drifting) across the
+/// bins; it is now built here on [`bdcc_obs::json`] so escaping, number
+/// formatting and field order are identical everywhere.
+#[derive(Debug)]
+pub struct BenchReport {
+    head: bdcc_obs::json::Obj,
+    results: bdcc_obs::json::Arr,
+}
+
+impl BenchReport {
+    pub fn new(bench: &str) -> BenchReport {
+        BenchReport {
+            head: bdcc_obs::json::Obj::new().str("bench", bench),
+            results: bdcc_obs::json::Arr::new(),
+        }
+    }
+
+    /// Add a top-level string field (insertion-ordered, like `Obj`).
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.head = self.head.str(k, v);
+        self
+    }
+
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.head = self.head.u64(k, v);
+        self
+    }
+
+    pub fn usize(mut self, k: &str, v: usize) -> Self {
+        self.head = self.head.usize(k, v);
+        self
+    }
+
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.head = self.head.f64(k, v);
+        self
+    }
+
+    /// Append one row to the `results` array (omitted entirely when no
+    /// row is ever pushed — flat reports like `pool_overhead` stay flat).
+    pub fn result(&mut self, row: bdcc_obs::json::Obj) {
+        self.results.push_raw(&row.finish());
+    }
+
+    /// Render the JSON line.
+    pub fn finish(self) -> String {
+        let mut head = self.head;
+        if !self.results.is_empty() {
+            head = head.raw("results", &self.results.finish());
+        }
+        head.finish()
+    }
+
+    /// Print the line; every bin calls this last.
+    pub fn print(self) {
+        println!("{}", self.finish());
+    }
+}
+
 /// Megabytes, two decimals.
 pub fn mb(bytes: u64) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
@@ -180,4 +244,9 @@ pub fn mb(bytes: u64) -> String {
 /// Milliseconds, one decimal.
 pub fn ms(seconds: f64) -> String {
     format!("{:.1}", seconds * 1000.0)
+}
+
+/// Round to 3 decimals — the precision the bench JSON lines always used.
+pub fn r3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
 }

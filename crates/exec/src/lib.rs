@@ -16,11 +16,13 @@ pub mod parallel;
 pub mod plan;
 pub mod planner;
 pub mod pred;
+pub mod profile;
 pub mod restrict;
 pub mod run;
 pub mod scheme;
 
 pub use batch::{Batch, BatchAssembler, ColMeta, OpSchema, BATCH_ROWS};
+pub use bdcc_obs::{OpMetrics, ProfileNode, QueryProfile};
 pub use bdcc_storage::Datum;
 pub use error::{ExecError, Result};
 pub use expr::{ArithOp, CmpOp, Expr, LikePattern};
@@ -36,5 +38,6 @@ pub use plan::{
 };
 pub use planner::{plan_query, QueryContext};
 pub use pred::{ColPredicate, PredKind};
-pub use run::{canonical_rows, run_measured, run_plan, Measurement};
+pub use profile::{OpProf, ProfiledOp, Profiler};
+pub use run::{canonical_rows, explain_analyze, run_measured, run_plan, Analyzed, Measurement};
 pub use scheme::{bdcc_scheme, pk_scheme, plain_scheme, Scheme, SchemeDb};

@@ -20,16 +20,33 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared memory accounting for one query execution.
+///
+/// Trackers form an optional tree: profiling gives every plan operator a
+/// [`child_of`](Self::child_of) tracker whose grow/shrink forwards to the
+/// query-level parent, so the query total is unchanged while each
+/// operator also sees its own current/peak. Per-operator peak ≤ query
+/// peak holds structurally: every child byte is a parent byte.
 #[derive(Debug, Default)]
 pub struct MemoryTracker {
     current: AtomicU64,
     peak: AtomicU64,
+    parent: Option<Arc<MemoryTracker>>,
 }
 
 impl MemoryTracker {
     /// A fresh tracker.
     pub fn new() -> Arc<MemoryTracker> {
         Arc::new(MemoryTracker::default())
+    }
+
+    /// A tracker that also forwards every grow/shrink to `parent`
+    /// (recursively, if `parent` itself has a parent).
+    pub fn child_of(parent: &Arc<MemoryTracker>) -> Arc<MemoryTracker> {
+        Arc::new(MemoryTracker {
+            current: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            parent: Some(Arc::clone(parent)),
+        })
     }
 
     /// Register `bytes` of newly materialized state; returns a guard that
@@ -44,11 +61,17 @@ impl MemoryTracker {
     pub fn grow(&self, bytes: u64) {
         let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.peak.fetch_max(now, Ordering::Relaxed);
+        if let Some(parent) = &self.parent {
+            parent.grow(bytes);
+        }
     }
 
     /// Shrink the current usage.
     pub fn shrink(&self, bytes: u64) {
         self.current.fetch_sub(bytes, Ordering::Relaxed);
+        if let Some(parent) = &self.parent {
+            parent.shrink(bytes);
+        }
     }
 
     /// Current bytes registered.
@@ -135,6 +158,26 @@ mod tests {
         assert_eq!(t.peak(), 40);
         drop(g);
         assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn child_forwards_to_parent() {
+        let query = MemoryTracker::new();
+        let op_a = MemoryTracker::child_of(&query);
+        let op_b = MemoryTracker::child_of(&query);
+        let ga = op_a.register(100);
+        {
+            let _gb = op_b.register(60);
+            assert_eq!(query.current(), 160);
+        }
+        drop(ga);
+        assert_eq!(query.current(), 0);
+        assert_eq!(query.peak(), 160);
+        // Each operator sees only its own allocations…
+        assert_eq!(op_a.peak(), 100);
+        assert_eq!(op_b.peak(), 60);
+        // …and can never exceed the query peak.
+        assert!(op_a.peak() <= query.peak() && op_b.peak() <= query.peak());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
 
+use bdcc_obs::{OpMetrics, SpanTimer};
 use bdcc_storage::{Column, DataType};
 
 use crate::batch::{Batch, ColMeta, OpSchema};
@@ -73,6 +74,10 @@ pub struct HashJoin {
     /// Probed-but-unemitted output batches (a parallel probe round
     /// produces one output batch per probed left batch).
     out: VecDeque<Batch>,
+    /// Profiling hook (planner-installed): build-side size and
+    /// partitioned-vs-single annotation, probe-morsel counts/latencies.
+    /// `None` costs nothing.
+    metrics: Option<Arc<OpMetrics>>,
 }
 
 impl HashJoin {
@@ -128,6 +133,7 @@ impl HashJoin {
             tracker,
             parallel: None,
             out: VecDeque::new(),
+            metrics: None,
         })
     }
 
@@ -136,6 +142,12 @@ impl HashJoin {
     /// [`ParallelConfig`]; results stay byte-identical).
     pub fn with_parallel(mut self, cfg: Option<ParallelConfig>) -> HashJoin {
         self.parallel = cfg;
+        self
+    }
+
+    /// Attach the profiling metric block (planner-installed).
+    pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> HashJoin {
+        self.metrics = metrics;
         self
     }
 
@@ -156,6 +168,17 @@ impl HashJoin {
                 .map(|&k| columns[k].as_i64())
                 .collect::<std::result::Result<_, _>>()?;
             let index = JoinIndex::build(&key_cols, self.parallel.as_ref())?;
+            if let Some(m) = &self.metrics {
+                let rows = columns.first().map_or(0, |c| c.len());
+                m.annotate("build_rows", rows.to_string());
+                m.annotate(
+                    "build",
+                    match index.partition_count() {
+                        1 => "single".to_string(),
+                        n => format!("partitioned({n})"),
+                    },
+                );
+            }
             // Hash-table memory: materialized payload + the index's flat
             // arrays (buckets, chains, packed keys, partition row ids).
             let payload: u64 =
@@ -243,8 +266,10 @@ impl HashJoin {
         // are not shareable).
         let (left_keys, join_type) = (&self.left_keys, self.join_type);
         let residual = self.residual.as_ref();
+        let metrics = self.metrics.as_ref();
         let per: Vec<Vec<ProbePiece>> = pool::run_tasks(cfg.threads, tasks.len(), |t| {
-            tasks[t]
+            let span = metrics.map(|_| SpanTimer::start());
+            let pieces: Result<Vec<ProbePiece>> = tasks[t]
                 .iter()
                 .map(|(bi, range)| {
                     let lists = probe_range(
@@ -257,7 +282,13 @@ impl HashJoin {
                     )?;
                     Ok((*bi, lists))
                 })
-                .collect()
+                .collect();
+            if let (Some(m), Some(span)) = (metrics, span) {
+                m.morsels.add(1);
+                m.morsel_rows.add(tasks[t].iter().map(|(_, r)| r.len() as u64).sum());
+                m.morsel_nanos.record(span.elapsed_nanos());
+            }
+            pieces
         })?;
         // Pieces flatten back in batch-major, range-ascending order
         // whatever the task boundaries were; group them per batch, then

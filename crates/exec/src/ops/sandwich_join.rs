@@ -18,6 +18,7 @@
 
 use std::sync::Arc;
 
+use bdcc_obs::OpMetrics;
 use bdcc_storage::Column;
 
 use crate::batch::{Batch, OpSchema};
@@ -145,6 +146,13 @@ pub struct SandwichHashJoin {
     rgroup: Option<(Vec<i64>, Batch)>,
     started: bool,
     done: bool,
+    /// Profiling hook (planner-installed): group-merge outcomes — joined
+    /// groups vs one-sided short-circuits — flushed as annotations when
+    /// the merge ends (or the operator drops early under a `Limit`).
+    metrics: Option<Arc<OpMetrics>>,
+    groups_joined: u64,
+    groups_left_only: u64,
+    groups_right_only: u64,
 }
 
 impl SandwichHashJoin {
@@ -204,6 +212,10 @@ impl SandwichHashJoin {
             rgroup: None,
             started: false,
             done: false,
+            metrics: None,
+            groups_joined: 0,
+            groups_left_only: 0,
+            groups_right_only: 0,
         })
     }
 
@@ -213,6 +225,31 @@ impl SandwichHashJoin {
     pub fn with_parallel(mut self, cfg: Option<ParallelConfig>) -> SandwichHashJoin {
         self.parallel = cfg;
         self
+    }
+
+    /// Attach the profiling metric block (planner-installed).
+    pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> SandwichHashJoin {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Write the group-merge tallies as annotations. Idempotent
+    /// (`annotate` replaces), called when the merge exhausts and again
+    /// from `Drop` so an early-terminated query (a `Limit` upstream)
+    /// still reports the groups it actually processed.
+    fn flush_annotations(&self) {
+        if let Some(m) = &self.metrics {
+            m.annotate("groups_joined", self.groups_joined.to_string());
+            m.annotate("groups_left_only", self.groups_left_only.to_string());
+            m.annotate("groups_right_only", self.groups_right_only.to_string());
+            m.annotate("max_group_build_rows", self.max_group_build_rows.to_string());
+        }
+    }
+}
+
+impl Drop for SandwichHashJoin {
+    fn drop(&mut self) {
+        self.flush_annotations();
     }
 }
 
@@ -237,17 +274,21 @@ impl Operator for SandwichHashJoin {
                 _ => {
                     self.done = true;
                     self.mem = None;
+                    self.flush_annotations();
                     return Ok(None);
                 }
             };
             match cmp {
                 std::cmp::Ordering::Less => {
+                    self.groups_left_only += 1;
                     self.lgroup = self.left.next_group()?;
                 }
                 std::cmp::Ordering::Greater => {
+                    self.groups_right_only += 1;
                     self.rgroup = self.right.next_group()?;
                 }
                 std::cmp::Ordering::Equal => {
+                    self.groups_joined += 1;
                     let (_, lrows) = self.lgroup.as_ref().expect("checked");
                     let (_, rrows) = self.rgroup.as_ref().expect("checked");
                     // Build on the right group only — the sandwich. Charge

@@ -97,6 +97,7 @@ pub mod sort;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use bdcc_obs::{OpMetrics, SpanTimer};
 use bdcc_storage::{Column, IoTracker};
 
 use crate::batch::{Batch, OpSchema};
@@ -245,6 +246,10 @@ pub struct ParallelScan {
     tracker: Arc<MemoryTracker>,
     schema: OpSchema,
     exec: ScanExec,
+    /// Profiling hook (planner-installed): morsel counts/latencies from
+    /// the workers, reorder-buffer occupancy from the consumer, and the
+    /// chosen execution path as an annotation. `None` costs nothing.
+    metrics: Option<Arc<OpMetrics>>,
 }
 
 impl ParallelScan {
@@ -258,7 +263,13 @@ impl ParallelScan {
         // Building (not running) the whole-leaf operator is cheap and
         // yields the schema.
         let schema = fragment.build(&io, None)?.schema().clone();
-        Ok(ParallelScan { fragment, io, cfg, tracker, schema, exec: ScanExec::Idle })
+        Ok(ParallelScan { fragment, io, cfg, tracker, schema, exec: ScanExec::Idle, metrics: None })
+    }
+
+    /// Attach the profiling metric block (planner-installed).
+    pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> ParallelScan {
+        self.metrics = metrics;
+        self
     }
 
     /// Start executing: fan out to the streaming workers, or fall back to
@@ -266,19 +277,34 @@ impl ParallelScan {
     fn start(&mut self) -> Result<()> {
         let morsels = self.fragment.scan.morsels(self.cfg.morsel_rows);
         if self.cfg.threads <= 1 || morsels.len() <= 1 {
+            if let Some(m) = &self.metrics {
+                m.annotate("path", "serial");
+            }
             self.exec = ScanExec::Serial(self.fragment.build(&self.io, None)?);
             return Ok(());
+        }
+        if let Some(m) = &self.metrics {
+            m.annotate("path", "streaming");
         }
         let fragment = Arc::clone(&self.fragment);
         let io = self.io.clone();
         let tracker = Arc::clone(&self.tracker);
+        let metrics = self.metrics.clone();
         let ntasks = morsels.len();
         let cap = self.cfg.threads * STREAM_CAP_PER_THREAD;
         let stream = pool::OrderedStream::spawn(self.cfg.threads, ntasks, cap, move |i| {
+            let span = metrics.as_ref().map(|_| SpanTimer::start());
             let mut op = fragment.build(&io, Some(&morsels[i]))?;
             let mut out = Vec::new();
+            let mut rows = 0u64;
             while let Some(b) = op.next()? {
+                rows += b.rows() as u64;
                 out.push(b);
+            }
+            if let (Some(m), Some(span)) = (&metrics, span) {
+                m.morsels.add(1);
+                m.morsel_rows.add(rows);
+                m.morsel_nanos.record(span.elapsed_nanos());
             }
             // Charge the morsel while it sits in the reorder buffer (and
             // until the consumer finishes draining it); with the in-flight
@@ -306,6 +332,9 @@ impl Operator for ParallelScan {
                         return Ok(Some(b));
                     }
                     *mem = None; // previous morsel fully drained
+                    if let Some(m) = &self.metrics {
+                        m.occupancy_hwm.record(stream.buffered() as u64);
+                    }
                     match stream.recv()? {
                         Some((batches, guard)) => {
                             *current = batches.into_iter();
@@ -379,6 +408,10 @@ pub struct ParallelAggregate {
     child_schema: OpSchema,
     schema: OpSchema,
     done: bool,
+    /// Profiling hook (planner-installed): morsel counts/latencies from
+    /// the fan-out workers plus the strategy decision (and the probe's
+    /// estimates) as annotations. `None` costs nothing.
+    metrics: Option<Arc<OpMetrics>>,
 }
 
 /// One morsel's radix-partitioned input: per partition, the gathered
@@ -464,7 +497,14 @@ impl ParallelAggregate {
             child_schema,
             schema,
             done: false,
+            metrics: None,
         })
+    }
+
+    /// Attach the profiling metric block (planner-installed).
+    pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> ParallelAggregate {
+        self.metrics = metrics;
+        self
     }
 
     fn fresh_partial(&self) -> Result<PartialAgg> {
@@ -484,14 +524,16 @@ impl ParallelAggregate {
     }
 
     /// Aggregate one morsel into a fresh partial (the partial-merge
-    /// worker body).
-    fn morsel_partial(&self, morsel: &Morsel) -> Result<PartialAgg> {
+    /// worker body). Also returns the morsel's row count (profiling).
+    fn morsel_partial(&self, morsel: &Morsel) -> Result<(PartialAgg, u64)> {
         let mut op = self.fragment.build(&self.io, Some(morsel))?;
         let mut p = self.fresh_partial()?;
+        let mut rows = 0u64;
         while let Some(b) = op.next()? {
+            rows += b.rows() as u64;
             p.consume(&b)?;
         }
-        Ok(p)
+        Ok((p, rows))
     }
 
     /// Scan one morsel, returning its batches, the set of distinct
@@ -536,12 +578,19 @@ impl ParallelAggregate {
     ///   total there and radix's partitioned input copy would only add
     ///   memory, so both stay on the partial-merge path.
     fn choose_radix(&self, morsels: &[Morsel]) -> Result<Probe> {
+        let decided_by = |why: &str| {
+            if let Some(m) = &self.metrics {
+                m.annotate("strategy_source", why);
+            }
+        };
         // A global aggregate has one group — nothing to partition — and a
         // single morsel has no fan-out to route.
         if self.group_by.is_empty() || morsels.len() <= 1 {
+            decided_by("shape");
             return Ok(Probe::decided(false));
         }
         if let Some(force) = self.cfg.agg_radix {
+            decided_by("pinned");
             return Ok(Probe::decided(force));
         }
         // Radix trades a partitioned copy of the input for
@@ -549,8 +598,10 @@ impl ParallelAggregate {
         // morsels the partial path duplicates little, so the copy cannot
         // pay for itself whatever the cardinality — stay on partials.
         if morsels.len() < self.cfg.threads.max(2) * 2 {
+            decided_by("shape");
             return Ok(Probe::decided(false));
         }
+        decided_by("probe");
         let group_cols = self.group_col_indices()?;
         let mid = morsels.len() / 2;
         let (b0, h0, r0) = self.scan_morsel_keyed(&morsels[0], &group_cols)?;
@@ -565,8 +616,16 @@ impl ParallelAggregate {
         let duplicated = overlap > 0 && {
             let est_global = (h0.len() as u64 * hm.len() as u64) / overlap;
             let avg_sample = (h0.len() + hm.len()) as u64 / 2;
+            if let Some(m) = &self.metrics {
+                m.annotate("probe_est_groups", est_global.max(1).to_string());
+            }
             morsels.len() as u64 * avg_sample * 10 >= est_global.max(1) * RADIX_MIN_DUPLICATION_X10
         };
+        if let Some(m) = &self.metrics {
+            m.annotate("probe_rows", rows.to_string());
+            m.annotate("probe_sample_groups", union.to_string());
+            m.annotate("probe_overlap", overlap.to_string());
+        }
         let bytes: u64 = b0.iter().chain(&bm).map(|b| b.estimated_bytes()).sum();
         let cached = HashMap::from([(0, b0), (mid, bm)]);
         Ok(Probe {
@@ -596,6 +655,7 @@ impl ParallelAggregate {
         let cached = std::sync::Mutex::new(cached);
         let phase1: Vec<MorselPartitions> =
             pool::run_tasks(self.cfg.threads, morsels.len(), |i| {
+                let span = self.metrics.as_ref().map(|_| SpanTimer::start());
                 let hit = cached.lock().expect("probe cache poisoned").remove(&i);
                 let (parts, rows, bytes) = match hit {
                     Some(batches) => {
@@ -607,6 +667,11 @@ impl ParallelAggregate {
                         partition_morsel_stream(&group_cols, bits, || op.next())?
                     }
                 };
+                if let (Some(m), Some(span)) = (&self.metrics, span) {
+                    m.morsels.add(1);
+                    m.morsel_rows.add(rows);
+                    m.morsel_nanos.record(span.elapsed_nanos());
+                }
                 Ok(MorselPartitions { parts, rows, _mem: self.tracker.register(bytes) })
             })?;
 
@@ -651,6 +716,9 @@ impl Operator for ParallelAggregate {
         let morsels = self.fragment.scan.morsels(self.cfg.morsel_rows);
         let mut probe =
             if morsels.is_empty() { Probe::decided(false) } else { self.choose_radix(&morsels)? };
+        if let Some(m) = &self.metrics {
+            m.annotate("strategy", if probe.radix { "radix" } else { "partial-merge" });
+        }
         // Held across the fan-out: the cached sample batches stay charged
         // until consumed (dropping at scope end slightly over-reports the
         // tail, never under-reports).
@@ -663,19 +731,28 @@ impl Operator for ParallelAggregate {
         // identical — a partial is a pure fold of the morsel's stream).
         let cached = std::sync::Mutex::new(probe.cached);
         let mut partials = pool::run_tasks(self.cfg.threads, morsels.len(), |i| {
+            let span = self.metrics.as_ref().map(|_| SpanTimer::start());
             // Bind the cache hit outside the match: a scrutinee temporary
             // would hold the lock across the whole aggregation arm.
             let hit = cached.lock().expect("probe cache poisoned").remove(&i);
-            match hit {
+            let (p, rows) = match hit {
                 Some(batches) => {
                     let mut p = self.fresh_partial()?;
+                    let mut rows = 0u64;
                     for b in &batches {
+                        rows += b.rows() as u64;
                         p.consume(b)?;
                     }
-                    Ok(p)
+                    (p, rows)
                 }
-                None => self.morsel_partial(&morsels[i]),
+                None => self.morsel_partial(&morsels[i])?,
+            };
+            if let (Some(m), Some(span)) = (&self.metrics, span) {
+                m.morsels.add(1);
+                m.morsel_rows.add(rows);
+                m.morsel_nanos.record(span.elapsed_nanos());
             }
+            Ok(p)
         })?;
         if partials.is_empty() {
             partials.push(self.fresh_partial()?);

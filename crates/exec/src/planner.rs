@@ -42,8 +42,10 @@ use crate::parallel::{
     ScanBlueprint, ScanKind,
 };
 use crate::plan::{alias_column, FkSide, Node};
+use crate::profile::{wrap_edge, OpProf, Profiler};
 use crate::restrict::{compute_restrictions, Restrictions};
 use crate::scheme::{Scheme, SchemeDb};
+use bdcc_obs::OpMetrics;
 
 /// Everything a query execution needs.
 #[derive(Clone)]
@@ -55,11 +57,22 @@ pub struct QueryContext {
     /// for morsel-parallel scans and eligible aggregations for partial
     /// aggregation with ordered merge. `None` plans exactly as before.
     pub parallel: Option<ParallelConfig>,
+    /// When set, the planner mirrors the operator tree with per-operator
+    /// metric blocks, child memory/I/O trackers and edge wrappers (see
+    /// [`crate::profile`]); results stay byte-identical. `None` (the
+    /// default without `BDCC_PROFILE=1`) allocates and wraps nothing.
+    pub profiler: Option<Profiler>,
 }
 
 impl QueryContext {
     pub fn new(sdb: Arc<SchemeDb>) -> QueryContext {
-        QueryContext { sdb, tracker: MemoryTracker::new(), io: IoTracker::new(), parallel: None }
+        QueryContext {
+            sdb,
+            tracker: MemoryTracker::new(),
+            io: IoTracker::new(),
+            parallel: None,
+            profiler: Profiler::from_env(),
+        }
     }
 
     /// A context that executes with morsel-driven parallelism. Warms the
@@ -78,6 +91,25 @@ impl QueryContext {
             tracker: MemoryTracker::new(),
             io: IoTracker::new(),
             parallel: Some(parallel),
+            profiler: Profiler::from_env(),
+        }
+    }
+
+    /// Enable per-operator profiling on this context (what
+    /// [`explain_analyze`](crate::run::explain_analyze) uses). The next
+    /// `plan_query` builds the profile tree alongside the plan.
+    pub fn with_profiling(mut self) -> QueryContext {
+        self.profiler = Some(Profiler::new());
+        self
+    }
+}
+
+impl Profiler {
+    /// The `BDCC_PROFILE` opt-in: `1`/`true`/`on` profile every context.
+    fn from_env() -> Option<Profiler> {
+        match std::env::var("BDCC_PROFILE").ok().as_deref() {
+            Some("1") | Some("true") | Some("on") => Some(Profiler::new()),
+            _ => None,
         }
     }
 }
@@ -91,6 +123,12 @@ pub fn plan_query(ctx: &QueryContext, node: &Node) -> Result<BoxedOp> {
     };
     let planner = Planner { ctx, restrictions };
     let out = planner.build(node, &[])?;
+    if let (Some(profiler), Some(root)) = (&ctx.profiler, &out.prof) {
+        profiler.set_root(Arc::clone(root));
+        // The root edge wrapper (no parent) books the query's output rows
+        // and the root operator's wall time.
+        return Ok(wrap_edge(out.op, &out.prof, &None));
+    }
     Ok(out.op)
 }
 
@@ -115,10 +153,12 @@ impl InstSet {
     }
 }
 
-/// Physical subtree plus the positions of the requested group-key columns.
+/// Physical subtree plus the positions of the requested group-key columns
+/// and (under profiling) the subtree's profile node.
 struct PhysOut {
     op: BoxedOp,
     gk_cols: Vec<usize>,
+    prof: Option<Arc<OpProf>>,
 }
 
 struct Planner<'a> {
@@ -129,6 +169,43 @@ struct Planner<'a> {
 impl<'a> Planner<'a> {
     fn catalog(&self) -> &bdcc_catalog::Catalog {
         self.ctx.sdb.db.catalog()
+    }
+
+    // -----------------------------------------------------------------
+    // Profile-tree construction (no-ops when the context has no profiler).
+    // -----------------------------------------------------------------
+
+    /// Profile node for the operator being built: a fresh metric block, a
+    /// child tracker of the query tracker, optional I/O attribution, and
+    /// the already-built children. `None` when profiling is off.
+    fn prof_node(
+        &self,
+        label: String,
+        children: Vec<Option<Arc<OpProf>>>,
+        io: Option<IoTracker>,
+    ) -> Option<Arc<OpProf>> {
+        self.ctx.profiler.as_ref()?;
+        Some(Arc::new(OpProf {
+            label,
+            metrics: OpMetrics::new(),
+            tracker: MemoryTracker::child_of(&self.ctx.tracker),
+            io,
+            children: children.into_iter().flatten().collect(),
+        }))
+    }
+
+    /// The tracker the operator should charge: its profile node's child
+    /// tracker (forwards to the query total) or the query tracker itself.
+    fn op_tracker(&self, prof: &Option<Arc<OpProf>>) -> Arc<MemoryTracker> {
+        match prof {
+            Some(p) => Arc::clone(&p.tracker),
+            None => Arc::clone(&self.ctx.tracker),
+        }
+    }
+
+    /// A child I/O tracker for a storage-reading leaf, when profiling.
+    fn scan_io(&self) -> Option<IoTracker> {
+        self.ctx.profiler.as_ref().map(|_| self.ctx.io.child())
     }
 
     fn clustered(&self, table: TableId) -> Option<&BdccTable> {
@@ -325,8 +402,10 @@ impl<'a> Planner<'a> {
             }
             Node::Filter { input, predicate } => {
                 let child = self.build(input, requested)?;
-                let op = Filter::new(child.op, predicate.clone())?;
-                Ok(PhysOut { op: Box::new(op), gk_cols: child.gk_cols })
+                let prof = self.prof_node("Filter".into(), vec![child.prof.clone()], None);
+                let cop = wrap_edge(child.op, &child.prof, &prof);
+                let op = Filter::new(cop, predicate.clone())?;
+                Ok(PhysOut { op: Box::new(op), gk_cols: child.gk_cols, prof })
             }
             Node::Project { input, exprs } => {
                 let child = self.build(input, requested)?;
@@ -339,8 +418,10 @@ impl<'a> Planner<'a> {
                     all.push((Expr::col(&name), name));
                     gk_cols.push(base + i);
                 }
-                let op = Project::new(child.op, all)?;
-                Ok(PhysOut { op: Box::new(op), gk_cols })
+                let prof = self.prof_node("Project".into(), vec![child.prof.clone()], None);
+                let cop = wrap_edge(child.op, &child.prof, &prof);
+                let op = Project::new(cop, all)?;
+                Ok(PhysOut { op: Box::new(op), gk_cols, prof })
             }
             Node::Join { left, right, on, join_type, fk, residual } => {
                 self.build_join(node, left, right, on, *join_type, fk.as_ref(), residual, requested)
@@ -354,23 +435,24 @@ impl<'a> Planner<'a> {
                 // Workers sort per-run, then a stable k-way merge with
                 // run-index tie-breaking reproduces the serial stable sort
                 // byte-for-byte.
+                let parallel_sort = matches!(&self.ctx.parallel, Some(cfg) if cfg.threads > 1);
+                let label = if parallel_sort { "Sort(parallel)" } else { "Sort(serial)" };
+                let prof = self.prof_node(label.into(), vec![child.prof.clone()], None);
+                let tracker = self.op_tracker(&prof);
+                let cop = wrap_edge(child.op, &child.prof, &prof);
                 let op: BoxedOp = match &self.ctx.parallel {
-                    Some(cfg) if cfg.threads > 1 => Box::new(ParallelSort::new(
-                        child.op,
-                        keys,
-                        *limit,
-                        cfg.clone(),
-                        Arc::clone(&self.ctx.tracker),
-                    )?),
-                    _ => {
-                        Box::new(Sort::new(child.op, keys, *limit, Arc::clone(&self.ctx.tracker))?)
+                    Some(cfg) if cfg.threads > 1 => {
+                        Box::new(ParallelSort::new(cop, keys, *limit, cfg.clone(), tracker)?)
                     }
+                    _ => Box::new(Sort::new(cop, keys, *limit, tracker)?),
                 };
-                Ok(PhysOut { op, gk_cols: vec![] })
+                Ok(PhysOut { op, gk_cols: vec![], prof })
             }
             Node::Limit { input, n } => {
                 let child = self.build(input, &[])?;
-                Ok(PhysOut { op: Box::new(Limit::new(child.op, *n)), gk_cols: vec![] })
+                let prof = self.prof_node("Limit".into(), vec![child.prof.clone()], None);
+                let cop = wrap_edge(child.op, &child.prof, &prof);
+                Ok(PhysOut { op: Box::new(Limit::new(cop, *n)), gk_cols: vec![], prof })
             }
         }
     }
@@ -488,20 +570,30 @@ impl<'a> Planner<'a> {
             self.scan_blueprint(scan_id, table, columns, predicates, requested)?;
         let base = columns.len();
         let gk_cols: Vec<usize> = (0..gk_count).map(|i| base + i).collect();
+        // Profiling gives the scan its own I/O attribution (a child of
+        // the query tracker, so query totals and access classification
+        // are unchanged) and a per-operator memory tracker.
+        let io_child = self.scan_io();
+        let prof = self.prof_node(format!("Scan({table})"), vec![], io_child.clone());
+        let io = io_child.unwrap_or_else(|| self.ctx.io.clone());
+        let tracker = self.op_tracker(&prof);
         let op: BoxedOp = match &self.ctx.parallel {
-            Some(cfg) if cfg.worth_splitting(blueprint.total_rows()) => {
-                Box::new(ParallelScan::new(
-                    blueprint,
-                    self.ctx.io.clone(),
-                    cfg.clone(),
-                    Arc::clone(&self.ctx.tracker),
-                )?)
+            Some(cfg) if cfg.worth_splitting(blueprint.total_rows()) => Box::new(
+                ParallelScan::new(blueprint, io, cfg.clone(), tracker)?
+                    .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics))),
+            ),
+            _ => {
+                if let Some(p) = &prof {
+                    p.metrics.annotate("path", "serial");
+                }
+                blueprint.build(&io, None)?
             }
-            _ => blueprint.build(&self.ctx.io, None)?,
         };
-        // Alias: rename base columns, keep group keys.
+        // Alias: rename base columns, keep group keys. The rename rides
+        // inside the scan's profile node — it is part of the access path,
+        // not a plan operator.
         match alias {
-            None => Ok(PhysOut { op, gk_cols }),
+            None => Ok(PhysOut { op, gk_cols, prof }),
             Some(a) => {
                 let schema = op.schema().clone();
                 let exprs: Vec<(Expr, String)> = schema
@@ -517,7 +609,7 @@ impl<'a> Planner<'a> {
                     })
                     .collect();
                 let p = Project::new(op, exprs)?;
-                Ok(PhysOut { op: Box::new(p), gk_cols })
+                Ok(PhysOut { op: Box::new(p), gk_cols, prof })
             }
         }
     }
@@ -593,25 +685,33 @@ impl<'a> Planner<'a> {
                             let rreq: Vec<InstSet> = keys.clone();
                             let lout = self.build(left, &lreq)?;
                             let rout = self.build(right, &rreq)?;
+                            let prof = self.prof_node(
+                                "Join(sandwich)".into(),
+                                vec![lout.prof.clone(), rout.prof.clone()],
+                                None,
+                            );
+                            let lop = wrap_edge(lout.op, &lout.prof, &prof);
+                            let rop = wrap_edge(rout.op, &rout.prof, &prof);
                             // Under a parallel config, oversized groups
                             // build partitioned and probe in row-range
                             // morsels; the group merge itself stays serial
                             // (it is the partition-wise short-circuit).
                             let j = SandwichHashJoin::new(
-                                lout.op,
-                                rout.op,
+                                lop,
+                                rop,
                                 &on_refs,
                                 lout.gk_cols.clone(),
                                 rout.gk_cols,
                                 residual.clone(),
-                                Arc::clone(&self.ctx.tracker),
+                                self.op_tracker(&prof),
                             )?
-                            .with_parallel(self.ctx.parallel.clone());
+                            .with_parallel(self.ctx.parallel.clone())
+                            .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)));
                             // Output keeps the left columns at unchanged
                             // positions; requested = the first
                             // `requested.len()` sandwich keys.
                             let gk_cols = lout.gk_cols[..requested.len()].to_vec();
-                            return Ok(PhysOut { op: Box::new(j), gk_cols });
+                            return Ok(PhysOut { op: Box::new(j), gk_cols, prof });
                         }
                     }
                 }
@@ -632,8 +732,15 @@ impl<'a> Planner<'a> {
             {
                 let lout = self.build(left, &[])?;
                 let rout = self.build(right, &[])?;
-                let j = MergeJoin::new(lout.op, rout.op, (&on[0].0, &on[0].1))?;
-                return Ok(PhysOut { op: Box::new(j), gk_cols: vec![] });
+                let prof = self.prof_node(
+                    "Join(merge)".into(),
+                    vec![lout.prof.clone(), rout.prof.clone()],
+                    None,
+                );
+                let lop = wrap_edge(lout.op, &lout.prof, &prof);
+                let rop = wrap_edge(rout.op, &rout.prof, &prof);
+                let j = MergeJoin::new(lop, rop, (&on[0].0, &on[0].1))?;
+                return Ok(PhysOut { op: Box::new(j), gk_cols: vec![], prof });
             }
         }
 
@@ -648,22 +755,21 @@ impl<'a> Planner<'a> {
         }
         let lout = self.build(left, &left_req)?;
         let rout = self.build(right, &[])?;
+        let prof =
+            self.prof_node("Join(hash)".into(), vec![lout.prof.clone(), rout.prof.clone()], None);
+        let lop = wrap_edge(lout.op, &lout.prof, &prof);
+        let rop = wrap_edge(rout.op, &rout.prof, &prof);
         // Under a parallel config the join's build side is indexed with
         // the hash-partitioned parallel build (partitioned tables are
         // registered with the memory tracker inside the operator) and the
         // probe side fans out in row-range morsels over rounds of left
         // batches — both gated inside the operator on the config's
         // morsel budget, both byte-identical to serial execution.
-        let j = HashJoin::new(
-            lout.op,
-            rout.op,
-            &on_refs,
-            join_type,
-            residual.clone(),
-            Arc::clone(&self.ctx.tracker),
-        )?
-        .with_parallel(self.ctx.parallel.clone());
-        Ok(PhysOut { op: Box::new(j), gk_cols: lout.gk_cols })
+        let j =
+            HashJoin::new(lop, rop, &on_refs, join_type, residual.clone(), self.op_tracker(&prof))?
+                .with_parallel(self.ctx.parallel.clone())
+                .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)));
+        Ok(PhysOut { op: Box::new(j), gk_cols: lout.gk_cols, prof })
     }
 
     fn build_aggregate(
@@ -691,14 +797,17 @@ impl<'a> Planner<'a> {
                 av.into_iter().filter(|s| self.determined_by(s, input, group_by)).collect();
             if !determined.is_empty() {
                 let child = self.build(input, &determined)?;
+                let prof =
+                    self.prof_node("Aggregate(sandwich)".into(), vec![child.prof.clone()], None);
+                let cop = wrap_edge(child.op, &child.prof, &prof);
                 let op = SandwichAggregate::new(
-                    child.op,
+                    cop,
                     &gb_refs,
                     aggs.to_vec(),
                     child.gk_cols,
-                    Arc::clone(&self.ctx.tracker),
+                    self.op_tracker(&prof),
                 )?;
-                return Ok(PhysOut { op: Box::new(op), gk_cols: vec![] });
+                return Ok(PhysOut { op: Box::new(op), gk_cols: vec![], prof });
             }
         }
 
@@ -709,8 +818,11 @@ impl<'a> Planner<'a> {
                 && order[..group_by.len()].iter().all(|c| group_by.contains(c));
             if covered {
                 let child = self.build(input, &[])?;
-                let op = StreamingAggregate::new(child.op, &gb_refs, aggs.to_vec())?;
-                return Ok(PhysOut { op: Box::new(op), gk_cols: vec![] });
+                let prof =
+                    self.prof_node("Aggregate(streaming)".into(), vec![child.prof.clone()], None);
+                let cop = wrap_edge(child.op, &child.prof, &prof);
+                let op = StreamingAggregate::new(cop, &gb_refs, aggs.to_vec())?;
+                return Ok(PhysOut { op: Box::new(op), gk_cols: vec![], prof });
             }
         }
 
@@ -728,23 +840,34 @@ impl<'a> Planner<'a> {
         if let Some(cfg) = self.ctx.parallel.clone() {
             if let Some(fragment) = self.leaf_fragment(input)? {
                 if cfg.worth_splitting(fragment.scan.total_rows()) {
+                    // The fragment fuses scan → filter/project into the
+                    // aggregate's workers, so this node is also a leaf:
+                    // it gets the scan's I/O attribution.
+                    let io_child = self.scan_io();
+                    let prof =
+                        self.prof_node("Aggregate(parallel)".into(), vec![], io_child.clone());
+                    if let Some(p) = &prof {
+                        p.metrics.annotate("fragment", fragment.scan.table.name());
+                    }
                     let op = ParallelAggregate::new(
                         fragment,
                         &gb_refs,
                         aggs.to_vec(),
-                        self.ctx.io.clone(),
+                        io_child.unwrap_or_else(|| self.ctx.io.clone()),
                         cfg,
-                        Arc::clone(&self.ctx.tracker),
-                    )?;
-                    return Ok(PhysOut { op: Box::new(op), gk_cols: vec![] });
+                        self.op_tracker(&prof),
+                    )?
+                    .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)));
+                    return Ok(PhysOut { op: Box::new(op), gk_cols: vec![], prof });
                 }
             }
         }
 
         let child = self.build(input, &[])?;
-        let op =
-            HashAggregate::new(child.op, &gb_refs, aggs.to_vec(), Arc::clone(&self.ctx.tracker))?;
-        Ok(PhysOut { op: Box::new(op), gk_cols: vec![] })
+        let prof = self.prof_node("Aggregate(hash)".into(), vec![child.prof.clone()], None);
+        let cop = wrap_edge(child.op, &child.prof, &prof);
+        let op = HashAggregate::new(cop, &gb_refs, aggs.to_vec(), self.op_tracker(&prof))?;
+        Ok(PhysOut { op: Box::new(op), gk_cols: vec![], prof })
     }
 
     /// When `node` is a filter/project chain over a single scan, lower it

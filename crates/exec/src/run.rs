@@ -6,11 +6,13 @@
 
 use std::time::Instant;
 
+use bdcc_obs::QueryProfile;
 use bdcc_storage::{DeviceProfile, IoStats};
 
 use crate::batch::Batch;
-use crate::error::Result;
+use crate::error::{ExecError, Result};
 use crate::ops::collect;
+use crate::parallel::pool::{PoolStats, WorkerPool};
 use crate::plan::Node;
 use crate::planner::{plan_query, QueryContext};
 
@@ -52,6 +54,51 @@ pub fn run_measured(ctx: &QueryContext, plan: &Node) -> Result<(Batch, Measureme
         rows: batch.rows(),
     };
     Ok((batch, m))
+}
+
+/// `EXPLAIN ANALYZE` output: the query result plus the measurement and
+/// the per-operator profile (render with [`QueryProfile::render`], export
+/// with [`QueryProfile::to_json`]).
+#[derive(Debug)]
+pub struct Analyzed {
+    pub batch: Batch,
+    pub measurement: Measurement,
+    pub profile: QueryProfile,
+}
+
+/// Execute `plan` with per-operator profiling and return the annotated
+/// profile alongside the result. Profiling rides on a clone of `ctx`
+/// (same database, same parallel config) with a fresh [`Profiler`]
+/// (`crate::profile`); the result batch is byte-identical to an
+/// unprofiled [`run_plan`] of the same plan.
+pub fn explain_analyze(ctx: &QueryContext, plan: &Node) -> Result<Analyzed> {
+    let ctx = ctx.clone().with_profiling();
+    let pool_base = WorkerPool::shared().stats();
+    let (batch, measurement) = run_measured(&ctx, plan)?;
+    let pool = WorkerPool::shared().stats().since(&pool_base);
+    let profiler = ctx.profiler.as_ref().expect("with_profiling installs a profiler");
+    let profile = profiler
+        .finalize(
+            (measurement.seconds * 1e9) as u64,
+            measurement.peak_memory,
+            &measurement.io,
+            pool_pairs(&pool),
+        )
+        .ok_or_else(|| ExecError::Internal("plan_query collected no profile".into()))?;
+    Ok(Analyzed { batch, measurement, profile })
+}
+
+/// Pool-counter deltas as the `(name, value)` pairs the profile renders.
+fn pool_pairs(p: &PoolStats) -> Vec<(String, u64)> {
+    vec![
+        ("workers".into(), p.workers as u64),
+        ("jobs".into(), p.jobs),
+        ("steals".into(), p.steals),
+        ("parks".into(), p.parks),
+        ("lends".into(), p.lends),
+        ("lent_jobs".into(), p.lent_jobs),
+        ("queue_depth_hwm".into(), p.queue_depth_hwm),
+    ]
 }
 
 /// Render result rows as strings for cross-scheme comparison: rows

@@ -1,0 +1,169 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace is offline (no serde); this module is the one place JSON
+//! is built, replacing the `format!` strings that used to be copy-pasted
+//! across the bench bins. Output is *stable*: fields appear exactly in
+//! insertion order, numbers use Rust's shortest round-trip formatting,
+//! and strings are escaped per RFC 8259 — so exported profiles diff
+//! cleanly across runs.
+
+use std::fmt::Write;
+
+/// Escape a string for embedding between JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number (non-finite values become `null`,
+/// which JSON has no spelling for).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON object builder with insertion-ordered fields.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn usize(self, k: &str, v: usize) -> Self {
+        self.u64(k, v as u64)
+    }
+
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Embed a pre-rendered JSON value (object, array, …) verbatim.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// JSON array builder.
+#[derive(Debug, Default)]
+pub struct Arr {
+    buf: String,
+}
+
+impl Arr {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a pre-rendered JSON value.
+    pub fn push_raw(&mut self, v: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(v);
+    }
+
+    pub fn push_str(&mut self, v: &str) {
+        self.push_raw(&format!("\"{}\"", escape(v)));
+    }
+
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_raw(&v.to_string());
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+/// Collect pre-rendered JSON values into an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut a = Arr::new();
+    for item in items {
+        a.push_raw(&item);
+    }
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_stable_json() {
+        let inner = Obj::new().str("k", "v\"q\\").u64("n", 7).finish();
+        let mut arr = Arr::new();
+        arr.push_raw(&inner);
+        arr.push_u64(3);
+        let out = Obj::new()
+            .str("name", "x")
+            .f64("ratio", 1.5)
+            .bool("ok", true)
+            .raw("items", &arr.finish())
+            .finish();
+        assert_eq!(out, r#"{"name":"x","ratio":1.5,"ok":true,"items":[{"k":"v\"q\\","n":7},3]}"#);
+    }
+
+    #[test]
+    fn escapes_control_chars_and_nonfinite() {
+        assert_eq!(escape("a\nb\u{1}"), "a\\nb\\u0001");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(0.25), "0.25");
+    }
+}

@@ -1,0 +1,248 @@
+//! Metric primitives: relaxed-atomic counters and gauges, monotonic-clock
+//! spans, and log-bucketed histograms with per-thread shards.
+//!
+//! Everything here is safe to hammer from operator hot loops; see the
+//! crate docs for the overhead and per-thread-buffer contracts.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Monotonically increasing event/row counter.
+///
+/// A single relaxed `fetch_add`; on x86 an uncontended `lock xadd`.
+/// Operators add once per batch or morsel, never per row.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// High-water mark: remembers the largest value ever recorded.
+#[derive(Debug, Default)]
+pub struct MaxGauge(AtomicU64);
+
+impl MaxGauge {
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Monotonic-clock span: started once, read in integer nanoseconds.
+///
+/// A thin wrapper over [`Instant`] so call sites read as instrumentation
+/// (and so the clock source is swappable in one place).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer(Instant);
+
+impl SpanTimer {
+    #[inline]
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Nanoseconds since [`SpanTimer::start`], saturated to `u64`
+    /// (584 years of span; saturation is theoretical).
+    #[inline]
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Number of log2 buckets in a [`LogHistogram`]: bucket 0 holds the value
+/// 0, bucket `b >= 1` holds values in `[2^(b-1), 2^b)`.
+pub const HIST_BUCKETS: usize = 64;
+
+/// One thread's private bucket array. Buckets are `AtomicU64` only so the
+/// aggregating thread can read them without `unsafe`; the recording
+/// thread is the sole writer, so its increments are uncontended stores.
+#[derive(Debug)]
+struct Shard {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Shard {
+    fn new() -> Arc<Self> {
+        Arc::new(Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) })
+    }
+}
+
+/// Histogram identities are process-global and never reused, so a
+/// thread-local cache entry can never alias a new histogram.
+static NEXT_HIST_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread map from histogram id to this thread's shard. A linear
+    /// scan: a thread records into a handful of live histograms, and dead
+    /// entries are pruned on every miss.
+    static SHARD_CACHE: RefCell<Vec<(u64, Arc<Shard>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Log-bucketed latency histogram with per-thread shards.
+///
+/// [`record`](Self::record) from a thread that has recorded before is a
+/// bucket lookup in a thread-local vector plus one uncontended atomic
+/// increment — no shared lock, no contended cache line. The first record
+/// from a new thread allocates that thread's shard and registers it under
+/// the histogram's mutex (once per thread per histogram).
+#[derive(Debug)]
+pub struct LogHistogram {
+    id: u64,
+    shards: Mutex<Vec<Arc<Shard>>>,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        Self { id: NEXT_HIST_ID.fetch_add(1, Ordering::Relaxed), shards: Mutex::new(Vec::new()) }
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// Record one observation (e.g. a span's nanoseconds).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let b = Self::bucket_of(value);
+        SHARD_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, shard)) = cache.iter().find(|(id, _)| *id == self.id) {
+                shard.buckets[b].fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Slow path: first record from this thread. Prune entries for
+            // histograms that were dropped (the cache then holds the last
+            // strong reference to their shard), then register a new shard.
+            cache.retain(|(_, s)| Arc::strong_count(s) > 1);
+            let shard = Shard::new();
+            shard.buckets[b].fetch_add(1, Ordering::Relaxed);
+            self.shards.lock().unwrap().push(Arc::clone(&shard));
+            cache.push((self.id, shard));
+        });
+    }
+
+    /// Sum all per-thread shards into `(inclusive upper bound, count)`
+    /// pairs for the non-empty buckets, in increasing bucket order.
+    ///
+    /// Exact once recording threads have quiesced; a consistent lower
+    /// bound while they have not (counts are monotone).
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut totals = [0u64; HIST_BUCKETS];
+        for shard in self.shards.lock().unwrap().iter() {
+            for (t, b) in totals.iter_mut().zip(shard.buckets.iter()) {
+                *t += b.load(Ordering::Relaxed);
+            }
+        }
+        totals
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(b, &n)| {
+                let upper = match b {
+                    0 => 0,
+                    _ if b == HIST_BUCKETS - 1 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+                (upper, n)
+            })
+            .collect()
+    }
+
+    /// Total number of recorded observations across all threads.
+    pub fn count(&self) -> u64 {
+        self.snapshot().iter().map(|&(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        let g = MaxGauge::new();
+        g.record(5);
+        g.record(2);
+        g.record(9);
+        g.record(1);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds() {
+        let h = LogHistogram::new();
+        h.record(0); // bucket 0, upper 0
+        h.record(1); // bucket 1, upper 1
+        h.record(2); // bucket 2, upper 3
+        h.record(3); // bucket 2, upper 3
+        h.record(1024); // bucket 11, upper 2047
+        assert_eq!(h.snapshot(), vec![(0, 1), (1, 1), (3, 2), (2047, 1)]);
+        assert_eq!(h.count(), 5);
+        // Saturated bucket: a u64::MAX observation must not overflow.
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().last(), Some(&(u64::MAX, 1)));
+    }
+
+    #[test]
+    fn histogram_from_many_threads() {
+        let h = Arc::new(LogHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn dead_histograms_are_pruned_from_thread_cache() {
+        // Churn histograms on one thread; the cache prunes dropped
+        // entries on each miss, so shard memory cannot accumulate.
+        for _ in 0..64 {
+            let h = LogHistogram::new();
+            h.record(1);
+            assert_eq!(h.count(), 1);
+        }
+        SHARD_CACHE.with(|c| assert!(c.borrow().len() < 64));
+    }
+}

@@ -172,21 +172,52 @@ struct Queues {
     injector: VecDeque<Job>,
     locals: Vec<VecDeque<Job>>,
     shutdown: bool,
+    /// Telemetry (see [`PoolStats`]). Plain fields, not atomics: every
+    /// pop, push and park already holds this mutex, so counting here is
+    /// free — no new synchronization on any path.
+    counters: PoolCounters,
+}
+
+/// The mutable telemetry counters inside [`Queues`].
+#[derive(Debug, Default)]
+struct PoolCounters {
+    jobs: u64,
+    steals: u64,
+    parks: u64,
+    lends: u64,
+    lent_jobs: u64,
+    queue_depth_hwm: u64,
+    worker_jobs: Vec<u64>,
 }
 
 impl Queues {
+    /// Record the current total queue depth into the high-water mark;
+    /// called after pushes (scope seeding, stream submission).
+    fn note_depth(&mut self) {
+        let depth =
+            (self.injector.len() + self.locals.iter().map(|d| d.len()).sum::<usize>()) as u64;
+        self.counters.queue_depth_hwm = self.counters.queue_depth_hwm.max(depth);
+    }
+
     /// Worker `me`'s pop order: own front, injector, steal a victim's
     /// back — skipping jobs whose fan-out is at its concurrency limit.
     fn pop_for(&mut self, me: usize) -> Option<Job> {
         if let Some(j) = take_claimable(&mut self.locals[me], true) {
+            self.counters.jobs += 1;
+            self.counters.worker_jobs[me] += 1;
             return Some(j);
         }
         if let Some(j) = take_claimable(&mut self.injector, true) {
+            self.counters.jobs += 1;
+            self.counters.worker_jobs[me] += 1;
             return Some(j);
         }
         let n = self.locals.len();
         for v in (me + 1..n).chain(0..me) {
             if let Some(j) = take_claimable(&mut self.locals[v], false) {
+                self.counters.jobs += 1;
+                self.counters.steals += 1;
+                self.counters.worker_jobs[me] += 1;
                 return Some(j);
             }
         }
@@ -196,10 +227,15 @@ impl Queues {
     /// A lent (non-worker) thread's pop order: injector, then steal.
     fn pop_any(&mut self) -> Option<Job> {
         if let Some(j) = take_claimable(&mut self.injector, true) {
+            self.counters.jobs += 1;
+            self.counters.lent_jobs += 1;
             return Some(j);
         }
         for d in &mut self.locals {
             if let Some(j) = take_claimable(d, false) {
+                self.counters.jobs += 1;
+                self.counters.steals += 1;
+                self.counters.lent_jobs += 1;
                 return Some(j);
             }
         }
@@ -212,15 +248,22 @@ impl Queues {
     /// first match either claims or nothing here is claimable.
     fn pop_matching(&mut self, runner: &Arc<dyn JobRunner>) -> Option<Job> {
         let hit = |j: &Job| Arc::ptr_eq(&j.runner, runner);
-        if let Some(p) = self.injector.iter().position(hit) {
-            return runner.try_claim().then(|| self.injector.remove(p)).flatten();
-        }
-        for d in &mut self.locals {
-            if let Some(p) = d.iter().position(hit) {
-                return runner.try_claim().then(|| d.remove(p)).flatten();
+        let taken = 'found: {
+            if let Some(p) = self.injector.iter().position(hit) {
+                break 'found runner.try_claim().then(|| self.injector.remove(p)).flatten();
             }
+            for d in &mut self.locals {
+                if let Some(p) = d.iter().position(hit) {
+                    break 'found runner.try_claim().then(|| d.remove(p)).flatten();
+                }
+            }
+            None
+        };
+        if taken.is_some() {
+            self.counters.jobs += 1;
+            self.counters.lent_jobs += 1;
         }
-        None
+        taken
     }
 }
 
@@ -249,14 +292,59 @@ impl PoolShared {
     }
 }
 
-/// Aggregate pool counters (see [`WorkerPool::stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Aggregate pool counters (see [`WorkerPool::stats`]). All counters are
+/// process-lifetime monotone; use [`since`](PoolStats::since) to window
+/// them over one query or benchmark phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PoolStats {
     /// Live worker threads.
     pub workers: usize,
     /// OS threads ever spawned by this pool — monotone; constant after
     /// warm-up is the persistent-pool guarantee.
     pub threads_spawned_total: usize,
+    /// Job bodies taken from the queues (all paths: own deque, injector,
+    /// steals, lent threads).
+    pub jobs: u64,
+    /// Jobs taken from a deque the taker does not own.
+    pub steals: u64,
+    /// Times a thread went to sleep on the work condvar (idle workers and
+    /// blocked scope callers with nothing runnable).
+    pub parks: u64,
+    /// Thread-lending events: times a blocked `scope_run` caller entered
+    /// the lent-thread loop.
+    pub lends: u64,
+    /// Jobs executed by lent (non-worker) threads.
+    pub lent_jobs: u64,
+    /// High-water mark of total queued (not yet taken) jobs.
+    pub queue_depth_hwm: u64,
+    /// Jobs taken by each worker, indexed like the worker deques.
+    pub worker_jobs: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Counter deltas since `base` (an earlier snapshot of the same
+    /// pool): the telemetry window for one query. `workers`,
+    /// `threads_spawned_total` and `queue_depth_hwm` keep their current
+    /// values — the first two describe pool shape, and the high-water
+    /// mark is a lifetime maximum that cannot be windowed.
+    pub fn since(&self, base: &PoolStats) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            threads_spawned_total: self.threads_spawned_total,
+            jobs: self.jobs.saturating_sub(base.jobs),
+            steals: self.steals.saturating_sub(base.steals),
+            parks: self.parks.saturating_sub(base.parks),
+            lends: self.lends.saturating_sub(base.lends),
+            lent_jobs: self.lent_jobs.saturating_sub(base.lent_jobs),
+            queue_depth_hwm: self.queue_depth_hwm,
+            worker_jobs: self
+                .worker_jobs
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| j.saturating_sub(base.worker_jobs.get(i).copied().unwrap_or(0)))
+                .collect(),
+        }
+    }
 }
 
 /// A long-lived set of parked worker threads. See the [module docs](self)
@@ -278,6 +366,7 @@ impl WorkerPool {
                     injector: VecDeque::new(),
                     locals: Vec::new(),
                     shutdown: false,
+                    counters: PoolCounters::default(),
                 }),
                 work_cond: Condvar::new(),
                 spawned_total: AtomicUsize::new(0),
@@ -307,6 +396,7 @@ impl WorkerPool {
         while q.locals.len() < n {
             let me = q.locals.len();
             q.locals.push(VecDeque::new());
+            q.counters.worker_jobs.push(0);
             self.shared.spawned_total.fetch_add(1, Ordering::Relaxed);
             let shared = Arc::clone(&self.shared);
             let h = std::thread::Builder::new()
@@ -317,12 +407,20 @@ impl WorkerPool {
         }
     }
 
-    /// Live and lifetime-total thread counts.
+    /// Snapshot of the pool's telemetry: thread counts plus the
+    /// scheduling counters (jobs, steals, parks, lends, queue depth).
     pub fn stats(&self) -> PoolStats {
-        let workers = self.shared.queues.lock().expect("pool queues poisoned").locals.len();
+        let q = self.shared.queues.lock().expect("pool queues poisoned");
         PoolStats {
-            workers,
+            workers: q.locals.len(),
             threads_spawned_total: self.shared.spawned_total.load(Ordering::Relaxed),
+            jobs: q.counters.jobs,
+            steals: q.counters.steals,
+            parks: q.counters.parks,
+            lends: q.counters.lends,
+            lent_jobs: q.counters.lent_jobs,
+            queue_depth_hwm: q.counters.queue_depth_hwm,
+            worker_jobs: q.counters.worker_jobs.clone(),
         }
     }
 
@@ -366,6 +464,7 @@ impl WorkerPool {
                 let runner: Arc<dyn JobRunner> = Arc::clone(&core) as Arc<dyn JobRunner>;
                 q.locals[(start + t % w) % n].push_back(Job { runner, index: t });
             }
+            q.note_depth();
         }
         self.shared.work_cond.notify_all();
         self.drain_scope(&core);
@@ -382,6 +481,10 @@ impl WorkerPool {
     /// concurrency slot).
     fn drain_scope(&self, core: &Arc<ScopeCore>) {
         let own: Arc<dyn JobRunner> = Arc::clone(core) as Arc<dyn JobRunner>;
+        {
+            let mut q = self.shared.queues.lock().expect("pool queues poisoned");
+            q.counters.lends += 1;
+        }
         loop {
             if core.remaining.load(Ordering::Acquire) == 0 {
                 return;
@@ -394,6 +497,7 @@ impl WorkerPool {
                 match q.pop_matching(&own).or_else(|| q.pop_any()) {
                     Some(j) => Some(j),
                     None => {
+                        q.counters.parks += 1;
                         drop(self.shared.work_cond.wait(q).expect("pool queues poisoned"));
                         None
                     }
@@ -412,6 +516,7 @@ impl WorkerPool {
         {
             let mut q = self.shared.queues.lock().expect("pool queues poisoned");
             q.injector.push_back(Job { runner, index });
+            q.note_depth();
         }
         self.work_cond_notify();
     }
@@ -449,6 +554,7 @@ fn worker_loop(shared: &PoolShared, me: usize) {
                 if q.shutdown {
                     break None;
                 }
+                q.counters.parks += 1;
                 q = shared.work_cond.wait(q).expect("pool queues poisoned");
             }
         };
@@ -763,6 +869,14 @@ where
         stream
     }
 
+    /// Completed-but-unreleased results currently in the reorder buffer —
+    /// an occupancy probe for stream telemetry (a consumer that samples
+    /// this at every [`recv`](Self::recv) sees how far the producers run
+    /// ahead of it within the `cap` window).
+    pub fn buffered(&self) -> usize {
+        self.shared.state.lock().expect("stream state poisoned").buffer.len()
+    }
+
     /// The next task's result, in task order; blocks until a worker
     /// publishes it. `Ok(None)` after the last task; a task error is
     /// returned at its index and ends the stream (a *panicking* task is
@@ -952,6 +1066,39 @@ mod tests {
         assert_eq!(pool.stats().threads_spawned_total, 4, "warm pool must not spawn");
         let _: Vec<usize> = pool.scope_run(6, 12, R::Ok).unwrap();
         assert_eq!(pool.stats().threads_spawned_total, 6, "wider fan-out grows the pool once");
+    }
+
+    #[test]
+    fn telemetry_counts_jobs_and_multi_worker_fanout() {
+        let pool = WorkerPool::new(4);
+        let base = pool.stats();
+        let _: Vec<usize> = pool
+            .scope_run(4, 64, |i| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                R::Ok(i)
+            })
+            .unwrap();
+        let d = pool.stats().since(&base);
+        // Every task body was taken through a counted pop path.
+        assert_eq!(d.jobs, 64);
+        // The blocked caller lent itself at least once.
+        assert!(d.lends >= 1);
+        // Seeding 64 jobs left a nonzero queue depth behind.
+        assert!(d.queue_depth_hwm >= 1);
+        // Worker jobs + lent jobs account for every job.
+        assert_eq!(d.worker_jobs.iter().sum::<u64>() + d.lent_jobs, d.jobs);
+        // A warm-pool fan-out must actually spread across workers —
+        // relaxed on single-core machines, where the OS may legitimately
+        // run the whole scope on whichever thread it wakes first.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if cores > 1 {
+            let active = d.worker_jobs.iter().filter(|&&j| j > 0).count();
+            assert!(
+                active >= 2,
+                "warm-pool fan-out ran on {active} worker(s): {:?}",
+                d.worker_jobs
+            );
+        }
     }
 
     #[test]

@@ -178,12 +178,32 @@ struct TrackerInner {
 pub struct IoTracker {
     stats: Arc<AtomicStats>,
     inner: Arc<Mutex<TrackerInner>>,
+    /// When set, every recorded span is forwarded to this tracker and the
+    /// *parent's* classification is the one returned (see [`child`]).
+    ///
+    /// [`child`]: Self::child
+    parent: Option<Box<IoTracker>>,
 }
 
 impl IoTracker {
     /// A fresh tracker with zeroed counters.
     pub fn new() -> IoTracker {
         IoTracker::default()
+    }
+
+    /// A tracker that records into its own counters *and* forwards every
+    /// span to `self` (recursively, if `self` is itself a child), so I/O
+    /// can be attributed per-operator while the query-level interval sets
+    /// stay authoritative. [`record_span`](Self::record_span) on a child
+    /// returns the *root* tracker's classification, so code paths that
+    /// branch on [`AccessKind`] behave identically whether they record
+    /// into the query tracker or a per-operator child.
+    pub fn child(&self) -> IoTracker {
+        IoTracker {
+            stats: Arc::default(),
+            inner: Arc::default(),
+            parent: Some(Box::new(self.clone())),
+        }
     }
 
     /// Record a read of bytes `[first_byte, last_byte]` of the column
@@ -223,7 +243,10 @@ impl IoTracker {
             }
             AccessKind::Random => self.stats.random_seeks.fetch_add(1, Ordering::Relaxed),
         };
-        kind
+        match &self.parent {
+            Some(parent) => parent.record_span(column_key, first_byte, last_byte),
+            None => kind,
+        }
     }
 
     /// Snapshot of the counters so far.
@@ -300,6 +323,26 @@ mod tests {
         t.reset();
         assert_eq!(t.stats(), IoStats::default());
         assert_eq!(t.record_span(1, 10, 10), AccessKind::Random);
+    }
+
+    #[test]
+    fn child_attributes_and_forwards() {
+        let query = IoTracker::new();
+        // The query tracker has seen the column's prefix already…
+        query.record_span(1, 0, 99);
+        let scan = query.child();
+        // …so the child's first span, while locally a cold first access,
+        // must classify exactly as the query tracker would (sequential
+        // continuation), keeping profiled behavior byte-identical.
+        assert_eq!(scan.record_span(1, 100, 199), AccessKind::Sequential);
+        // The child attributes its own bytes; the query stays deduped.
+        assert_eq!(scan.stats().bytes_read, 100);
+        assert_eq!(query.stats().bytes_read, 200);
+        // A re-read through another child adds nothing at query level.
+        let scan2 = query.child();
+        scan2.record_span(1, 0, 199);
+        assert_eq!(scan2.stats().bytes_read, 200);
+        assert_eq!(query.stats().bytes_read, 200);
     }
 
     #[test]

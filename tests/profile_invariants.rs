@@ -1,0 +1,175 @@
+//! The observability layer's contract, tested across an execution-config
+//! matrix: profiling must *observe, never participate*. For every
+//! thread-count × morsel-size × aggregation-strategy configuration, a
+//! profiled run returns byte-identical results to an unprofiled run of
+//! the same context, and the collected [`QueryProfile`] obeys the
+//! conservation laws the edge-wrapper design promises:
+//!
+//! * a parent's rows/batches **in** equal the sum of its children's
+//!   rows/batches **out** (every batch crosses exactly one plan edge);
+//! * a scan's morsel row count sums to its output rows (each pool morsel
+//!   is booked exactly once);
+//! * no operator's peak tracked memory exceeds the query peak (operator
+//!   trackers are children of the query tracker);
+//! * the root's output is the result batch;
+//! * strategy decisions are recorded, and honour a pinned `agg_radix`.
+
+use std::sync::Arc;
+
+use bdcc::prelude::*;
+use bdcc_exec::{
+    aggregate, canonical_rows, explain_analyze, join, run_plan, sort, AggFunc, AggSpec, Expr,
+    FkSide, Node, ParallelConfig, PlanBuilder, ProfileNode, QueryContext, QueryProfile, SortKey,
+};
+
+fn scheme_db() -> Arc<SchemeDb> {
+    let db = bdcc::tpch::generate(&GenConfig::new(0.002));
+    Arc::new(bdcc_scheme(&db, &DesignConfig::default()).expect("bdcc scheme"))
+}
+
+/// Join + aggregation + top-N: scan, hash/sandwich join, hash aggregate
+/// and sort all appear in the profile tree.
+fn join_agg_plan() -> Node {
+    let b = PlanBuilder::new();
+    let orders = b.scan("orders", &["o_orderkey", "o_orderpriority"], vec![]);
+    let lineitem = b.scan("lineitem", &["l_orderkey", "l_quantity", "l_extendedprice"], vec![]);
+    let lo =
+        join(lineitem, orders, &[("l_orderkey", "o_orderkey")], Some(("FK_L_O", FkSide::Left)));
+    let agg = aggregate(
+        lo,
+        &["o_orderpriority"],
+        vec![
+            AggSpec::new(AggFunc::Sum, Expr::col("l_extendedprice"), "revenue"),
+            AggSpec::new(AggFunc::Count, Expr::lit(1), "n"),
+        ],
+    );
+    sort(agg, vec![SortKey::desc("revenue")], Some(3))
+}
+
+/// Aggregation straight over a scan — the shape the planner collapses
+/// into a [`ParallelAggregate`] fragment, where the `agg_radix` pin and
+/// the strategy annotations apply.
+fn scan_agg_plan() -> Node {
+    let b = PlanBuilder::new();
+    let lineitem = b.scan("lineitem", &["l_partkey", "l_quantity"], vec![]);
+    aggregate(
+        lineitem,
+        &["l_partkey"],
+        vec![
+            AggSpec::new(AggFunc::Sum, Expr::col("l_quantity"), "sq"),
+            AggSpec::new(AggFunc::Count, Expr::lit(1), "n"),
+        ],
+    )
+}
+
+/// Every execution configuration under test: serial, plus parallel cells
+/// over morsel sizes and both pinned aggregation strategies (the pin is a
+/// no-op at 1 worker, so serial runs once per morsel size).
+fn configs() -> Vec<Option<ParallelConfig>> {
+    let mut out = vec![None];
+    for &morsel_rows in &[256usize, 48] {
+        out.push(Some(ParallelConfig { threads: 1, morsel_rows, agg_radix: None }));
+        for agg_radix in [Some(true), Some(false)] {
+            out.push(Some(ParallelConfig { threads: 4, morsel_rows, agg_radix }));
+        }
+    }
+    out
+}
+
+fn context(sdb: &Arc<SchemeDb>, cfg: &Option<ParallelConfig>) -> QueryContext {
+    match cfg {
+        None => QueryContext::new(Arc::clone(sdb)),
+        Some(c) => QueryContext::with_parallel(Arc::clone(sdb), c.clone()),
+    }
+}
+
+/// The conservation laws, checked over the whole tree.
+fn check_tree(profile: &QueryProfile) {
+    profile.root.walk(&mut |node: &ProfileNode| {
+        if !node.children.is_empty() {
+            let rows: u64 = node.children.iter().map(|c| c.rows_out).sum();
+            let batches: u64 = node.children.iter().map(|c| c.batches_out).sum();
+            assert_eq!(node.rows_in, rows, "{}: rows in ≠ Σ children rows out", node.label);
+            assert_eq!(node.batches_in, batches, "{}: batches in ≠ Σ children out", node.label);
+        }
+        if node.label.starts_with("Scan") && node.morsels > 0 {
+            assert_eq!(
+                node.morsel_rows, node.rows_out,
+                "{}: morsel rows must sum to scan output rows",
+                node.label
+            );
+        }
+        assert!(
+            node.peak_memory <= profile.peak_memory,
+            "{}: operator peak {} above query peak {}",
+            node.label,
+            node.peak_memory,
+            profile.peak_memory
+        );
+    });
+}
+
+#[test]
+fn profiled_runs_are_identical_and_profiles_conserve() {
+    let sdb = scheme_db();
+    for (name, plan) in [("join_agg", join_agg_plan()), ("scan_agg", scan_agg_plan())] {
+        for cfg in configs() {
+            let ctx = context(&sdb, &cfg);
+            let plain = run_plan(&ctx, &plan).expect("unprofiled run");
+            let analyzed = explain_analyze(&ctx, &plan).expect("explain analyze");
+            // Byte-identical, not merely equivalent: the full debug
+            // rendering includes every column value bit-for-bit.
+            assert_eq!(
+                format!("{plain:?}"),
+                format!("{:?}", analyzed.batch),
+                "{name} under {cfg:?}: profiling changed the result"
+            );
+            assert_eq!(canonical_rows(&plain), canonical_rows(&analyzed.batch));
+
+            let profile = &analyzed.profile;
+            assert_eq!(
+                profile.root.rows_out as usize,
+                analyzed.batch.rows(),
+                "{name} under {cfg:?}: root rows out must be the result rows"
+            );
+            check_tree(profile);
+        }
+    }
+}
+
+#[test]
+fn pinned_aggregation_strategy_is_recorded() {
+    let sdb = scheme_db();
+    let plan = scan_agg_plan();
+    for (pin, expect) in [(Some(true), "radix"), (Some(false), "partial-merge")] {
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 256, agg_radix: pin };
+        let ctx = QueryContext::with_parallel(Arc::clone(&sdb), cfg);
+        let analyzed = explain_analyze(&ctx, &plan).expect("explain analyze");
+        let mut seen = Vec::new();
+        analyzed.profile.root.walk(&mut |node: &ProfileNode| {
+            if node.label.starts_with("Aggregate(parallel)") {
+                seen.push(node.annotations.clone());
+            }
+        });
+        assert!(!seen.is_empty(), "parallel plan must contain a parallel aggregate");
+        for ann in &seen {
+            let get = |k: &str| {
+                ann.iter().find(|(n, _)| n == k).map(|(_, v)| v.as_str()).unwrap_or_default()
+            };
+            assert_eq!(get("strategy"), expect, "pin {pin:?} must decide the strategy");
+            assert_eq!(get("strategy_source"), "pinned");
+        }
+    }
+}
+
+/// Without `BDCC_PROFILE` or `with_profiling`, a context carries no
+/// profiler — the disabled path allocates nothing and wraps nothing.
+#[test]
+fn profiling_is_off_by_default() {
+    if std::env::var_os("BDCC_PROFILE").is_some() {
+        return; // environment pinned it on; nothing to assert here
+    }
+    let sdb = scheme_db();
+    assert!(QueryContext::new(Arc::clone(&sdb)).profiler.is_none());
+    assert!(QueryContext::new(sdb).with_profiling().profiler.is_some());
+}
