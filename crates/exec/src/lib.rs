@@ -7,6 +7,7 @@
 //! into BDCC group restrictions (selection pushdown and propagation).
 
 pub mod batch;
+pub mod enc;
 pub mod error;
 pub mod expr;
 pub mod hash;
@@ -24,6 +25,7 @@ pub mod scheme;
 pub use batch::{Batch, BatchAssembler, ColMeta, OpSchema, BATCH_ROWS};
 pub use bdcc_obs::{OpMetrics, ProfileNode, QueryProfile};
 pub use bdcc_storage::Datum;
+pub use enc::{BlockVerdict, ScanKernel};
 pub use error::{ExecError, Result};
 pub use expr::{ArithOp, CmpOp, Expr, LikePattern};
 pub use hash::{FxBuildHasher, FxHasher, JoinIndex, JoinTable};

@@ -15,9 +15,11 @@
 
 use std::sync::Arc;
 
+use bdcc_obs::OpMetrics;
 use bdcc_storage::{DataType, IoTracker, StoredTable};
 
 use crate::batch::{Batch, ColMeta, OpSchema};
+use crate::enc::{BlockVerdict, ScanKernel};
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::ops::Operator;
@@ -49,6 +51,10 @@ pub struct BdccScan {
     predicates: Vec<(usize, ColPredicate)>,
     extra_cols: Vec<usize>,
     residual: Option<Expr>,
+    /// Compression-aware predicate kernel; `Some` only when the table is
+    /// block-encoded and every predicate is kernel-supported.
+    kernel: Option<ScanKernel>,
+    metrics: Option<Arc<OpMetrics>>,
     /// Names of the emitted group-key columns (appended after projection).
     schema: OpSchema,
     groups: Vec<GroupSpec>,
@@ -92,6 +98,7 @@ impl BdccScan {
         for name in group_key_names {
             schema.push(ColMeta::new(name.clone(), DataType::Int));
         }
+        let kernel = ScanKernel::try_new(&table, &preds);
         Ok(BdccScan {
             table,
             io,
@@ -99,10 +106,18 @@ impl BdccScan {
             predicates: preds,
             extra_cols,
             residual,
+            kernel,
+            metrics: None,
             schema,
             groups,
             next_group: 0,
         })
+    }
+
+    /// Attach operator metrics (block-skip counters) to this scan.
+    pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> BdccScan {
+        self.metrics = metrics;
+        self
     }
 
     fn read_set(&self) -> Vec<usize> {
@@ -117,7 +132,7 @@ impl BdccScan {
 
     fn charge_io(&self, start_row: usize, end_row: usize) {
         for &col in &self.read_set() {
-            let width = self.table.schema().columns[col].avg_width;
+            let width = self.table.io_width(col);
             let first = (start_row as f64 * width) as u64;
             let last = ((end_row as f64 * width) as u64).saturating_sub(1).max(first);
             self.io.record_span(self.table.io_key(col), first, last);
@@ -146,7 +161,16 @@ impl Operator for BdccScan {
     }
 
     fn next(&mut self) -> Result<Option<Batch>> {
-        let stats0 = if self.table.rows() > 0 { Some(self.table.block_stats(0)?) } else { None };
+        let rows = self.table.rows();
+        let stats0 = if rows > 0 { Some(self.table.block_stats(0)?) } else { None };
+        // Resolve each predicate column's statistics once per call, not once
+        // per (block, predicate) pair.
+        let mut pred_stats = Vec::with_capacity(self.predicates.len());
+        if rows > 0 {
+            for (col, _) in &self.predicates {
+                pred_stats.push(self.table.block_stats(*col)?);
+            }
+        }
         while self.next_group < self.groups.len() {
             let g = self.groups[self.next_group].clone();
             self.next_group += 1;
@@ -154,6 +178,64 @@ impl Operator for BdccScan {
                 continue;
             }
             let (gstart, gend) = (g.start, g.start + g.count);
+            if let (Some(stats0), Some(kernel)) = (&stats0, &self.kernel) {
+                // Compression-aware path: predicates run per block on the
+                // encoded data; the projection materializes late with one
+                // gather over the group's surviving rows. Extra predicate
+                // columns are never assembled.
+                let first_block = stats0.block_of_row(gstart);
+                let last_block = stats0.block_of_row(gend - 1);
+                let mut rows_idx: Vec<usize> = Vec::new();
+                'kblocks: for b in first_block..=last_block {
+                    let (bs, be) = stats0.rows_of_block(b, rows);
+                    let s = bs.max(gstart);
+                    let e = be.min(gend);
+                    if s >= e {
+                        continue;
+                    }
+                    for (i, (_, pred)) in self.predicates.iter().enumerate() {
+                        if !pred.block_may_match(&pred_stats[i].blocks[b]) {
+                            if let Some(m) = &self.metrics {
+                                m.blocks_skipped.add(1);
+                            }
+                            continue 'kblocks;
+                        }
+                    }
+                    match kernel.eval_block(&self.table, b, bs, s, e, &pred_stats)? {
+                        BlockVerdict::SkipNoRows => {
+                            if let Some(m) = &self.metrics {
+                                m.enc_skipped.add(1);
+                            }
+                        }
+                        BlockVerdict::Skip => self.charge_io(s, e),
+                        BlockVerdict::All => {
+                            self.charge_io(s, e);
+                            rows_idx.extend(s..e);
+                        }
+                        BlockVerdict::Rows(idx) => {
+                            self.charge_io(s, e);
+                            rows_idx.extend(idx);
+                        }
+                    }
+                }
+                if rows_idx.is_empty() {
+                    continue;
+                }
+                let mut batch = Batch::new(
+                    self.projection
+                        .iter()
+                        .map(|&col| Ok(self.table.column(col)?.gather(&rows_idx)))
+                        .collect::<Result<Vec<_>>>()?,
+                );
+                if batch.rows() == 0 {
+                    continue;
+                }
+                let n = batch.rows();
+                for &gk in &g.group_keys {
+                    batch.columns.push(bdcc_storage::Column::from_i64(vec![gk; n]));
+                }
+                return Ok(Some(batch));
+            }
             // MinMax pruning over the blocks the group spans: collect the
             // surviving sub-ranges.
             let mut survivors: Vec<(usize, usize)> = Vec::new();
@@ -167,9 +249,11 @@ impl Operator for BdccScan {
                     if s >= e {
                         continue;
                     }
-                    for (col, pred) in &self.predicates {
-                        let stats = self.table.block_stats(*col)?;
-                        if !pred.block_may_match(&stats.blocks[b]) {
+                    for (i, (_, pred)) in self.predicates.iter().enumerate() {
+                        if !pred.block_may_match(&pred_stats[i].blocks[b]) {
+                            if let Some(m) = &self.metrics {
+                                m.blocks_skipped.add(1);
+                            }
                             continue 'blocks;
                         }
                     }

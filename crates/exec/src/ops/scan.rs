@@ -11,9 +11,11 @@
 
 use std::sync::Arc;
 
+use bdcc_obs::OpMetrics;
 use bdcc_storage::{IoTracker, StoredTable};
 
 use crate::batch::{Batch, ColMeta, OpSchema};
+use crate::enc::{BlockVerdict, ScanKernel};
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::ops::Operator;
@@ -32,6 +34,10 @@ pub struct PlainScan {
     extra_cols: Vec<usize>,
     /// Residual filter bound against projection ++ extra columns.
     residual: Option<Expr>,
+    /// Compression-aware predicate kernel; `Some` only when the table is
+    /// block-encoded and every predicate is kernel-supported.
+    kernel: Option<ScanKernel>,
+    metrics: Option<Arc<OpMetrics>>,
     schema: OpSchema,
     next_block: usize,
     /// One past the last block to read (block-range partition view).
@@ -91,6 +97,7 @@ impl PlainScan {
             None => None,
         };
         let end_block = blocks.end.min(table.block_count());
+        let kernel = ScanKernel::try_new(&table, &preds);
         Ok(PlainScan {
             table,
             io,
@@ -98,10 +105,18 @@ impl PlainScan {
             predicates: preds,
             extra_cols,
             residual,
+            kernel,
+            metrics: None,
             schema,
             next_block: blocks.start.min(end_block),
             end_block,
         })
+    }
+
+    /// Attach operator metrics (block-skip counters) to this scan.
+    pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> PlainScan {
+        self.metrics = metrics;
+        self
     }
 
     /// All columns this scan physically reads (projection ∪ predicates).
@@ -117,7 +132,7 @@ impl PlainScan {
 
     fn charge_io(&self, start_row: usize, end_row: usize) {
         for &col in &self.read_set() {
-            let width = self.table.schema().columns[col].avg_width;
+            let width = self.table.io_width(col);
             let first = (start_row as f64 * width) as u64;
             let last = ((end_row as f64 * width) as u64).saturating_sub(1).max(first);
             self.io.record_span(self.table.io_key(col), first, last);
@@ -136,22 +151,66 @@ impl Operator for PlainScan {
             return Ok(None);
         }
         let stats0 = self.table.block_stats(0)?;
+        // Resolve each predicate column's statistics once per scan, not once
+        // per (block, predicate) pair.
+        let mut pred_stats = Vec::with_capacity(self.predicates.len());
+        for (col, _) in &self.predicates {
+            pred_stats.push(self.table.block_stats(*col)?);
+        }
         while self.next_block < self.end_block {
             let b = self.next_block;
             self.next_block += 1;
             // MinMax pruning over all predicate columns.
             let mut skip = false;
-            for (col, pred) in &self.predicates {
-                let stats = self.table.block_stats(*col)?;
-                if !pred.block_may_match(&stats.blocks[b]) {
+            for (i, (_, pred)) in self.predicates.iter().enumerate() {
+                if !pred.block_may_match(&pred_stats[i].blocks[b]) {
                     skip = true;
                     break;
                 }
             }
             if skip {
+                if let Some(m) = &self.metrics {
+                    m.blocks_skipped.add(1);
+                }
                 continue;
             }
             let (start, end) = stats0.rows_of_block(b, rows);
+            if let Some(kernel) = &self.kernel {
+                // Compression-aware path: predicates run on encoded blocks;
+                // the projection materializes late, only for survivors, from
+                // the resident raw columns. Extra predicate columns are
+                // never assembled.
+                let verdict = kernel.eval_block(&self.table, b, start, start, end, &pred_stats)?;
+                if matches!(verdict, BlockVerdict::SkipNoRows) {
+                    if let Some(m) = &self.metrics {
+                        m.enc_skipped.add(1);
+                    }
+                    continue;
+                }
+                self.charge_io(start, end);
+                let batch = match verdict {
+                    BlockVerdict::SkipNoRows => unreachable!(),
+                    BlockVerdict::Skip => continue,
+                    BlockVerdict::All => {
+                        let mut columns = Vec::with_capacity(self.projection.len());
+                        for &col in &self.projection {
+                            columns.push(self.table.column(col)?.slice(start, end));
+                        }
+                        Batch::new(columns)
+                    }
+                    BlockVerdict::Rows(idx) => {
+                        let mut columns = Vec::with_capacity(self.projection.len());
+                        for &col in &self.projection {
+                            columns.push(self.table.column(col)?.gather(&idx));
+                        }
+                        Batch::new(columns)
+                    }
+                };
+                if batch.rows() > 0 {
+                    return Ok(Some(batch));
+                }
+                continue;
+            }
             self.charge_io(start, end);
             // Assemble projection ∪ predicate columns for residual eval.
             let mut columns = Vec::with_capacity(self.projection.len() + self.extra_cols.len());

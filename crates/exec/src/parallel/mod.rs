@@ -189,7 +189,18 @@ pub struct FragmentBlueprint {
 impl FragmentBlueprint {
     /// Build the fragment operator over one morsel (or the whole leaf).
     pub fn build(&self, io: &IoTracker, morsel: Option<&Morsel>) -> Result<BoxedOp> {
-        let mut op = self.scan.build(io, morsel)?;
+        self.build_with_metrics(io, morsel, None)
+    }
+
+    /// [`build`](Self::build) with operator metrics attached to the leaf
+    /// scan, so block-skip counters aggregate across the fragment's morsels.
+    pub fn build_with_metrics(
+        &self,
+        io: &IoTracker,
+        morsel: Option<&Morsel>,
+        metrics: Option<Arc<OpMetrics>>,
+    ) -> Result<BoxedOp> {
+        let mut op = self.scan.build_with_metrics(io, morsel, metrics)?;
         for step in &self.steps {
             op = match step {
                 FragmentStep::Filter(e) => Box::new(Filter::new(op, e.clone())?),
@@ -280,7 +291,11 @@ impl ParallelScan {
             if let Some(m) = &self.metrics {
                 m.annotate("path", "serial");
             }
-            self.exec = ScanExec::Serial(self.fragment.build(&self.io, None)?);
+            self.exec = ScanExec::Serial(self.fragment.build_with_metrics(
+                &self.io,
+                None,
+                self.metrics.clone(),
+            )?);
             return Ok(());
         }
         if let Some(m) = &self.metrics {
@@ -294,7 +309,7 @@ impl ParallelScan {
         let cap = self.cfg.threads * STREAM_CAP_PER_THREAD;
         let stream = pool::OrderedStream::spawn(self.cfg.threads, ntasks, cap, move |i| {
             let span = metrics.as_ref().map(|_| SpanTimer::start());
-            let mut op = fragment.build(&io, Some(&morsels[i]))?;
+            let mut op = fragment.build_with_metrics(&io, Some(&morsels[i]), metrics.clone())?;
             let mut out = Vec::new();
             let mut rows = 0u64;
             while let Some(b) = op.next()? {

@@ -12,6 +12,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
+use bdcc_obs::OpMetrics;
 use bdcc_storage::{IoTracker, StoredTable};
 
 use crate::error::Result;
@@ -117,23 +118,39 @@ impl ScanBlueprint {
     /// Build the scan operator for one morsel (or the whole scan when
     /// `morsel` is `None`). Workers call this concurrently.
     pub fn build(&self, io: &IoTracker, morsel: Option<&Morsel>) -> Result<BoxedOp> {
+        self.build_with_metrics(io, morsel, None)
+    }
+
+    /// [`build`](Self::build) with operator metrics attached to the scan, so
+    /// block-skip counters (MinMax pruning, encoded-path eliminations)
+    /// aggregate across the morsels of one profiled leaf.
+    pub fn build_with_metrics(
+        &self,
+        io: &IoTracker,
+        morsel: Option<&Morsel>,
+        metrics: Option<Arc<OpMetrics>>,
+    ) -> Result<BoxedOp> {
         let cols: Vec<&str> = self.columns.iter().map(|s| s.as_str()).collect();
         match (&self.kind, morsel) {
-            (ScanKind::Plain, None) => Ok(Box::new(PlainScan::new(
-                Arc::clone(&self.table),
-                io.clone(),
-                &cols,
-                self.predicates.clone(),
-            )?)),
-            (ScanKind::Plain, Some(Morsel::Blocks(r))) => {
-                Ok(Box::new(PlainScan::with_block_range(
+            (ScanKind::Plain, None) => Ok(Box::new(
+                PlainScan::new(
+                    Arc::clone(&self.table),
+                    io.clone(),
+                    &cols,
+                    self.predicates.clone(),
+                )?
+                .with_metrics(metrics),
+            )),
+            (ScanKind::Plain, Some(Morsel::Blocks(r))) => Ok(Box::new(
+                PlainScan::with_block_range(
                     Arc::clone(&self.table),
                     io.clone(),
                     &cols,
                     self.predicates.clone(),
                     r.clone(),
-                )?))
-            }
+                )?
+                .with_metrics(metrics),
+            )),
             (ScanKind::Bdcc { group_key_names, groups }, m) => {
                 let subset = match m {
                     None => groups.clone(),
@@ -144,14 +161,17 @@ impl ScanBlueprint {
                         ))
                     }
                 };
-                Ok(Box::new(BdccScan::new(
-                    Arc::clone(&self.table),
-                    io.clone(),
-                    &cols,
-                    self.predicates.clone(),
-                    group_key_names,
-                    subset,
-                )?))
+                Ok(Box::new(
+                    BdccScan::new(
+                        Arc::clone(&self.table),
+                        io.clone(),
+                        &cols,
+                        self.predicates.clone(),
+                        group_key_names,
+                        subset,
+                    )?
+                    .with_metrics(metrics),
+                ))
             }
             (ScanKind::Plain, Some(Morsel::Groups(_))) => {
                 Err(crate::error::ExecError::Internal("group morsel on a plain scan".into()))

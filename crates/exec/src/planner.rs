@@ -114,6 +114,34 @@ impl Profiler {
     }
 }
 
+/// Static encoding annotations for a profiled scan (EXPLAIN ANALYZE): the
+/// codec mix of every read-set column plus encoded-vs-raw byte totals. A
+/// no-op for unencoded tables.
+fn annotate_encodings(metrics: &OpMetrics, blueprint: &ScanBlueprint) {
+    if !blueprint.table.has_encodings() {
+        return;
+    }
+    let mut cols: Vec<&str> = blueprint.columns.iter().map(|s| s.as_str()).collect();
+    for p in &blueprint.predicates {
+        if !cols.contains(&p.column.as_str()) {
+            cols.push(&p.column);
+        }
+    }
+    let (mut enc_bytes, mut raw_bytes) = (0u64, 0u64);
+    for name in cols {
+        let Ok(idx) = blueprint.table.column_index(name) else { continue };
+        if let Some(enc) = blueprint.table.encoding(idx) {
+            metrics.annotate(&format!("enc.{name}"), enc.codec_summary());
+            enc_bytes += enc.encoded_bytes;
+            raw_bytes += enc.raw_bytes;
+        }
+    }
+    if raw_bytes > 0 {
+        metrics.annotate("enc_bytes", enc_bytes.to_string());
+        metrics.annotate("raw_bytes", raw_bytes.to_string());
+    }
+}
+
 /// Plan a logical tree into a physical operator under the context's scheme.
 pub fn plan_query(ctx: &QueryContext, node: &Node) -> Result<BoxedOp> {
     let restrictions = if ctx.sdb.scheme == Scheme::Bdcc {
@@ -577,6 +605,9 @@ impl<'a> Planner<'a> {
         let prof = self.prof_node(format!("Scan({table})"), vec![], io_child.clone());
         let io = io_child.unwrap_or_else(|| self.ctx.io.clone());
         let tracker = self.op_tracker(&prof);
+        if let Some(p) = &prof {
+            annotate_encodings(&p.metrics, &blueprint);
+        }
         let op: BoxedOp = match &self.ctx.parallel {
             Some(cfg) if cfg.worth_splitting(blueprint.total_rows()) => Box::new(
                 ParallelScan::new(blueprint, io, cfg.clone(), tracker)?
@@ -586,7 +617,11 @@ impl<'a> Planner<'a> {
                 if let Some(p) = &prof {
                     p.metrics.annotate("path", "serial");
                 }
-                blueprint.build(&io, None)?
+                blueprint.build_with_metrics(
+                    &io,
+                    None,
+                    prof.as_ref().map(|p| Arc::clone(&p.metrics)),
+                )?
             }
         };
         // Alias: rename base columns, keep group keys. The rename rides

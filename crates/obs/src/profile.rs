@@ -39,6 +39,11 @@ pub struct OpMetrics {
     /// High-water mark of the streaming reorder buffer (batches), for
     /// operators that use one.
     pub occupancy_hwm: MaxGauge,
+    /// Scan blocks skipped by MinMax pruning.
+    pub blocks_skipped: Counter,
+    /// Scan blocks the encoded-path kernel eliminated without evaluating a
+    /// single row (dictionary miss or constant-block stats).
+    pub enc_skipped: Counter,
     /// Latency distribution of this operator's `next` calls.
     pub next_nanos: LogHistogram,
     /// Latency distribution of this operator's pool morsels.
@@ -83,6 +88,10 @@ pub struct ProfileNode {
     pub morsels: u64,
     pub morsel_rows: u64,
     pub occupancy_hwm: u64,
+    /// Scan blocks skipped by MinMax pruning / by the encoded-path kernel
+    /// without row evaluation (dict miss, constant-block stats).
+    pub blocks_skipped: u64,
+    pub enc_skipped: u64,
     /// Peak memory tracked by this operator's (and its descendants')
     /// allocations, bytes.
     pub peak_memory: u64,
@@ -115,6 +124,8 @@ impl ProfileNode {
             morsels: m.morsels.get(),
             morsel_rows: m.morsel_rows.get(),
             occupancy_hwm: m.occupancy_hwm.get(),
+            blocks_skipped: m.blocks_skipped.get(),
+            enc_skipped: m.enc_skipped.get(),
             peak_memory: 0,
             io_bytes: 0,
             io_random_seeks: 0,
@@ -159,6 +170,13 @@ impl ProfileNode {
         }
         if self.occupancy_hwm > 0 {
             out.push_str(&format!("  stream_hwm={}", self.occupancy_hwm));
+        }
+        if self.blocks_skipped > 0 || self.enc_skipped > 0 {
+            out.push_str(&format!(
+                "  skipped={} (enc {})",
+                self.blocks_skipped + self.enc_skipped,
+                self.enc_skipped
+            ));
         }
         if self.peak_memory > 0 {
             out.push_str(&format!("  mem={}", human_bytes(self.peak_memory)));
@@ -205,6 +223,8 @@ impl ProfileNode {
             .u64("morsels", self.morsels)
             .u64("morsel_rows", self.morsel_rows)
             .u64("stream_hwm", self.occupancy_hwm)
+            .u64("blocks_skipped", self.blocks_skipped)
+            .u64("enc_skipped", self.enc_skipped)
             .u64("peak_memory", self.peak_memory)
             .u64("io_bytes", self.io_bytes)
             .u64("io_sequential", self.io_sequential)

@@ -166,10 +166,17 @@ impl Column {
         }
     }
 
-    /// Append all rows of `other` (same type) to `self`.
+    /// Append all rows of `other` (same *logical* type) to `self` —
+    /// `Int` and `Date` share the `I64` representation but do not merge.
     pub fn append(&mut self, other: &Column) -> Result<()> {
         match (self, other) {
-            (Column::I64 { values: a, .. }, Column::I64 { values: b, .. }) => {
+            (Column::I64 { values: a, logical: la }, Column::I64 { values: b, logical: lb }) => {
+                if la != lb {
+                    return Err(StorageError::TypeMismatch {
+                        expected: la.name(),
+                        actual: lb.name(),
+                    });
+                }
                 a.extend_from_slice(b);
                 Ok(())
             }
@@ -312,6 +319,13 @@ mod tests {
         assert!(a.append(&Column::from_i64(vec![2])).is_ok());
         assert_eq!(a.len(), 2);
         assert!(a.append(&Column::from_f64(vec![1.0])).is_err());
+        // Int and Date share the i64 representation but must not merge.
+        assert!(a.append(&Column::from_dates(vec![3])).is_err());
+        assert_eq!(a.len(), 2);
+        let mut d = Column::from_dates(vec![4]);
+        assert!(d.append(&Column::from_i64(vec![5])).is_err());
+        assert!(d.append(&Column::from_dates(vec![6])).is_ok());
+        assert_eq!(d.len(), 2);
     }
 
     #[test]

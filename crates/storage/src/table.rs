@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::block::{ColumnBlockStats, DEFAULT_BLOCK_ROWS};
 use crate::column::Column;
+use crate::encode::ColumnEncoding;
 use crate::error::{Result, StorageError};
 use crate::io::pages_for;
 use crate::value::{DataType, Datum};
@@ -48,6 +49,12 @@ pub struct StoredTable {
     schema: TableSchema,
     columns: Vec<Arc<Column>>,
     stats: Vec<ColumnBlockStats>,
+    /// Per-column block encodings (`None` when the `BDCC_ENCODE` gate was
+    /// off at build time or no block of the column won over raw). Shares
+    /// the MinMax block grid; raw columns stay resident, so encodings are
+    /// an *additional* predicate-evaluation representation, never the only
+    /// copy.
+    encodings: Vec<Option<Arc<ColumnEncoding>>>,
     rows: usize,
     name_index: HashMap<String, usize>,
 }
@@ -73,9 +80,11 @@ impl StoredTable {
             return Err(StorageError::Invalid(format!("table {table_name} has no columns")));
         }
         let rows = named_columns[0].1.len();
+        let encode = crate::encode::encode_enabled();
         let mut metas = Vec::with_capacity(named_columns.len());
         let mut columns = Vec::with_capacity(named_columns.len());
         let mut stats = Vec::with_capacity(named_columns.len());
+        let mut encodings = Vec::with_capacity(named_columns.len());
         let mut name_index = HashMap::with_capacity(named_columns.len());
         for (i, (name, column)) in named_columns.into_iter().enumerate() {
             if column.len() != rows {
@@ -96,12 +105,18 @@ impl StoredTable {
             } else {
                 stats.push(ColumnBlockStats { block_rows, blocks: Vec::new() });
             }
+            encodings.push(if encode {
+                ColumnEncoding::build(&column, block_rows).map(Arc::new)
+            } else {
+                None
+            });
             columns.push(Arc::new(column));
         }
         Ok(StoredTable {
             schema: TableSchema { name: table_name.to_string(), columns: metas },
             columns,
             stats,
+            encodings,
             rows,
             name_index,
         })
@@ -164,10 +179,34 @@ impl StoredTable {
         Ok(self.columns.iter().map(|c| c.datum(row)).collect())
     }
 
-    /// Logical pages occupied by column `index` (cost model).
+    /// Block encoding of a column, if one was built and won over raw.
+    pub fn encoding(&self, index: usize) -> Option<&Arc<ColumnEncoding>> {
+        self.encodings.get(index).and_then(|e| e.as_ref())
+    }
+
+    /// Whether any column of this table is block-encoded.
+    pub fn has_encodings(&self) -> bool {
+        self.encodings.iter().any(|e| e.is_some())
+    }
+
+    /// Average *stored* bytes per value of column `index`: the encoded
+    /// width when the column is block-encoded, the raw `avg_width`
+    /// otherwise. This is what the I/O cost model charges per scan —
+    /// dictionary-encoded string columns no longer bill their raw heap
+    /// size. Algorithm 1's [`densest_column_width`](Self::densest_column_width)
+    /// deliberately stays on raw widths so BDCC designs are invariant
+    /// under the `BDCC_ENCODE` gate.
+    pub fn io_width(&self, index: usize) -> f64 {
+        match self.encoding(index) {
+            Some(enc) => enc.avg_encoded_width(self.rows),
+            None => self.schema.columns[index].avg_width,
+        }
+    }
+
+    /// Logical pages occupied by column `index` (cost model; encoded
+    /// columns occupy their encoded footprint).
     pub fn column_pages(&self, index: usize) -> Result<u64> {
-        let meta = &self.schema.columns[index];
-        Ok(pages_for(self.rows, meta.avg_width))
+        Ok(pages_for(self.rows, self.io_width(index)))
     }
 
     /// Average width of the *densest* (widest stored) column, in bytes —
@@ -332,6 +371,48 @@ mod tests {
         assert_eq!(t.block_range_rows(2, 3), (8, 10)); // partial last block
         assert_eq!(t.block_range_rows(0, 3), (0, 10));
         assert_eq!(t.block_range_rows(3, 9), (10, 10)); // past the end
+    }
+
+    #[test]
+    fn encoded_columns_shrink_io_width() {
+        crate::encode::set_encode_enabled(Some(true));
+        let modes = ["AIR", "RAIL", "TRUCK", "SHIP"];
+        let t = StoredTable::from_columns_with_block_rows(
+            "t",
+            vec![
+                (
+                    "mode".into(),
+                    Column::from_strings((0..512).map(|i| modes[i % 4].into()).collect()),
+                ),
+                ("k".into(), Column::from_i64((0..512).collect())),
+            ],
+            4096,
+        )
+        .unwrap();
+        crate::encode::set_encode_enabled(None);
+        assert!(t.has_encodings());
+        let enc = t.encoding(0).expect("dict-encoded strings");
+        assert!(enc.encoded_bytes < enc.raw_bytes);
+        // io_width reports the encoded footprint; raw avg_width is untouched.
+        assert!(t.io_width(0) < t.schema().columns[0].avg_width);
+        // ("AIR"+1 + "RAIL"+1 + "TRUCK"+1 + "SHIP"+1) / 4 = 5 bytes raw.
+        assert!((t.schema().columns[0].avg_width - 5.0).abs() < 1e-9);
+        // Algorithm 1 still sees raw widths.
+        assert!((t.densest_column_width() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_gate_off_builds_no_encodings() {
+        crate::encode::set_encode_enabled(Some(false));
+        let t = StoredTable::from_columns_with_block_rows(
+            "t",
+            vec![("k".into(), Column::from_i64((0..512).collect()))],
+            4096,
+        )
+        .unwrap();
+        crate::encode::set_encode_enabled(None);
+        assert!(!t.has_encodings());
+        assert_eq!(t.io_width(0), t.schema().columns[0].avg_width);
     }
 
     #[test]

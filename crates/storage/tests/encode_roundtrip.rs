@@ -1,0 +1,140 @@
+//! Encode → decode round-trip properties for the block codecs.
+//!
+//! The storage contract the compression-aware scans rely on:
+//! `ColumnEncoding::decode_range(raw, s, e)` equals `raw.slice(s, e)` for
+//! every column and every range, whatever mix of codecs the blocks chose
+//! (dictionary, frame-of-reference, RLE, scaled-decimal FOR, or the raw
+//! fallback where nothing wins).
+
+use bdcc_storage::{Column, ColumnEncoding};
+use proptest::prelude::*;
+
+/// Check the contract over the whole column, one random sub-range, and
+/// every block of the chosen grid. Columns where no block wins over raw
+/// carry no encoding at all — that is the fallback contract, not a failure.
+fn check_roundtrip(column: &Column, block_rows: usize, cuts: (u64, u64)) {
+    let Some(enc) = ColumnEncoding::build(column, block_rows) else {
+        return;
+    };
+    let n = column.len();
+    assert_eq!(&enc.decode_range(column, 0, n), column);
+    let (mut a, mut b) = (cuts.0 as usize % (n + 1), cuts.1 as usize % (n + 1));
+    if a > b {
+        std::mem::swap(&mut a, &mut b);
+    }
+    assert_eq!(enc.decode_range(column, a, b), column.slice(a, b));
+    let mut s = 0;
+    while s < n {
+        let e = (s + block_rows).min(n);
+        assert_eq!(enc.decode_range(column, s, e), column.slice(s, e));
+        s = e;
+    }
+}
+
+proptest! {
+    #[test]
+    fn narrow_int_columns_round_trip(
+        v in prop::collection::vec(-1000i64..1000, 1..600),
+        block_rows in 1usize..130,
+        cuts in (any::<u64>(), any::<u64>()),
+    ) {
+        check_roundtrip(&Column::from_i64(v), block_rows, cuts);
+    }
+
+    #[test]
+    fn extreme_int_columns_round_trip(
+        v in prop::collection::vec(i64::MIN..i64::MAX, 1..300),
+        block_rows in 1usize..130,
+        cuts in (any::<u64>(), any::<u64>()),
+    ) {
+        // Full-range values exercise the wrapping frame-of-reference math.
+        check_roundtrip(&Column::from_i64(v), block_rows, cuts);
+    }
+
+    #[test]
+    fn runny_int_columns_round_trip(
+        runs in prop::collection::vec((-50i64..50, 1usize..40), 1..30),
+        block_rows in 1usize..130,
+        cuts in (any::<u64>(), any::<u64>()),
+    ) {
+        let v: Vec<i64> =
+            runs.iter().flat_map(|&(val, len)| std::iter::repeat_n(val, len)).collect();
+        check_roundtrip(&Column::from_i64(v), block_rows, cuts);
+    }
+
+    #[test]
+    fn single_value_blocks_round_trip(
+        x in i64::MIN..i64::MAX,
+        len in 1usize..300,
+        block_rows in 1usize..130,
+        cuts in (any::<u64>(), any::<u64>()),
+    ) {
+        // Degenerate constant column: width-0 frame-of-reference.
+        check_roundtrip(&Column::from_i64(vec![x; len]), block_rows, cuts);
+    }
+
+    #[test]
+    fn date_columns_keep_their_logical_type(
+        v in prop::collection::vec(0i64..40_000, 1..400),
+        block_rows in 1usize..130,
+        cuts in (any::<u64>(), any::<u64>()),
+    ) {
+        // `Column`'s `PartialEq` covers `logical`, so equality here also
+        // proves Date survives the i64 codecs.
+        check_roundtrip(&Column::from_dates(v), block_rows, cuts);
+    }
+
+    #[test]
+    fn low_cardinality_string_columns_round_trip(
+        picks in prop::collection::vec(0usize..6, 1..500),
+        block_rows in 1usize..130,
+        cuts in (any::<u64>(), any::<u64>()),
+    ) {
+        let pool = ["AIR", "RAIL", "TRUCK", "SHIP", "MAIL", "REG AIR"];
+        let v: Vec<String> = picks.iter().map(|&i| pool[i].to_string()).collect();
+        check_roundtrip(&Column::from_strings(v), block_rows, cuts);
+    }
+
+    #[test]
+    fn decimal_float_columns_round_trip(
+        cents in prop::collection::vec(-10_000_000i64..10_000_000, 1..400),
+        block_rows in 1usize..130,
+        cuts in (any::<u64>(), any::<u64>()),
+    ) {
+        let v: Vec<f64> = cents.iter().map(|&c| c as f64 / 100.0).collect();
+        check_roundtrip(&Column::from_f64(v), block_rows, cuts);
+    }
+
+    #[test]
+    fn arbitrary_bit_pattern_floats_round_trip(
+        bits in prop::collection::vec(0u64..u64::MAX, 1..200),
+        block_rows in 1usize..130,
+        cuts in (any::<u64>(), any::<u64>()),
+    ) {
+        // Mostly non-decimal values (including NaN payloads): blocks must
+        // either reproduce them bit-exactly or fall back to raw.
+        let v: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let col = Column::from_f64(v);
+        if let Some(enc) = ColumnEncoding::build(&col, block_rows) {
+            let decoded = enc.decode_range(&col, 0, col.len());
+            let (a, b) = (decoded.as_f64().unwrap(), col.as_f64().unwrap());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let _ = cuts;
+    }
+}
+
+#[test]
+fn all_unique_strings_fall_back_to_raw() {
+    // A dictionary of all-distinct entries always costs more than raw, so
+    // the column must carry no encoding at all.
+    let v: Vec<String> = (0..512).map(|i| format!("value-{i:05}")).collect();
+    assert!(ColumnEncoding::build(&Column::from_strings(v), 128).is_none());
+}
+
+#[test]
+fn empty_columns_carry_no_encoding() {
+    assert!(ColumnEncoding::build(&Column::from_i64(vec![]), 64).is_none());
+}
