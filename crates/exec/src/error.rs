@@ -9,6 +9,20 @@ pub enum ExecError {
     Type(String),
     Plan(String),
     Internal(String),
+    /// The query's [`CancelToken`](bdcc_pool::CancelToken) was cancelled
+    /// (by a client or the serving layer); workers unwind at the next
+    /// morsel boundary.
+    Cancelled,
+    /// The query ran past its deadline.
+    DeadlineExceeded,
+    /// The query's tracked memory exceeded its budget; only this query
+    /// fails, the process and its peers keep running.
+    BudgetExceeded {
+        used: u64,
+        budget: u64,
+    },
+    /// A simulated failure from the fault-injection harness.
+    Injected(String),
 }
 
 impl fmt::Display for ExecError {
@@ -18,6 +32,12 @@ impl fmt::Display for ExecError {
             ExecError::Type(m) => write!(f, "type error: {m}"),
             ExecError::Plan(m) => write!(f, "planning error: {m}"),
             ExecError::Internal(m) => write!(f, "internal error: {m}"),
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ExecError::BudgetExceeded { used, budget } => {
+                write!(f, "memory budget exceeded: {used} bytes used, budget {budget}")
+            }
+            ExecError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

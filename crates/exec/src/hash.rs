@@ -333,10 +333,12 @@ impl JoinIndex {
                         .into_iter()
                         .map(std::sync::Mutex::new)
                         .collect();
-                let tables = pool::run_tasks(cfg.threads, parts.len(), |p| {
-                    let ids = std::mem::take(&mut *parts[p].lock().expect("partition poisoned"));
-                    Ok(JoinTable::build(key_cols, Some(ids)))
-                })?;
+                let tables =
+                    pool::run_tasks_labeled(cfg.threads, parts.len(), "join-build", |p| {
+                        let ids =
+                            std::mem::take(&mut *parts[p].lock().expect("partition poisoned"));
+                        Ok(JoinTable::build(key_cols, Some(ids)))
+                    })?;
                 Ok(JoinIndex { tables, partition_bits: bits, key_width })
             }
             _ => Ok(JoinIndex {
@@ -430,11 +432,12 @@ impl JoinIndex {
         match parallel {
             Some(cfg) if cfg.worth_splitting(rows) => {
                 let ranges = crate::parallel::morsel::split_rows(rows, cfg.morsel_rows);
-                let per = pool::run_tasks(cfg.threads, ranges.len(), |i| {
-                    let (mut l, mut r) = (Vec::new(), Vec::new());
-                    self.probe_pairs(key_cols, ranges[i].clone(), &mut l, &mut r);
-                    Ok((l, r))
-                })?;
+                let per =
+                    pool::run_tasks_labeled(cfg.threads, ranges.len(), "join-probe-pairs", |i| {
+                        let (mut l, mut r) = (Vec::new(), Vec::new());
+                        self.probe_pairs(key_cols, ranges[i].clone(), &mut l, &mut r);
+                        Ok((l, r))
+                    })?;
                 Ok(crate::parallel::merge::concat_match_lists(per))
             }
             _ => {

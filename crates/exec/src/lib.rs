@@ -10,6 +10,7 @@ pub mod batch;
 pub mod enc;
 pub mod error;
 pub mod expr;
+pub mod govern;
 pub mod hash;
 pub mod memory;
 pub mod ops;
@@ -21,13 +22,16 @@ pub mod profile;
 pub mod restrict;
 pub mod run;
 pub mod scheme;
+pub mod serve;
 
 pub use batch::{Batch, BatchAssembler, ColMeta, OpSchema, BATCH_ROWS};
 pub use bdcc_obs::{OpMetrics, ProfileNode, QueryProfile};
+pub use bdcc_pool::{CancelReason, CancelToken, FaultInjector, FaultPlan};
 pub use bdcc_storage::Datum;
 pub use enc::{BlockVerdict, ScanKernel};
 pub use error::{ExecError, Result};
 pub use expr::{ArithOp, CmpOp, Expr, LikePattern};
+pub use govern::{GovernedOp, Governor};
 pub use hash::{FxBuildHasher, FxHasher, JoinIndex, JoinTable};
 pub use memory::{MemoryGuard, MemoryTracker};
 pub use ops::agg::{AggFunc, AggSpec};
@@ -43,3 +47,4 @@ pub use pred::{ColPredicate, PredKind};
 pub use profile::{OpProf, ProfiledOp, Profiler};
 pub use run::{canonical_rows, explain_analyze, run_measured, run_plan, Analyzed, Measurement};
 pub use scheme::{bdcc_scheme, pk_scheme, plain_scheme, Scheme, SchemeDb};
+pub use serve::{QueryHandle, QueryOptions, QueryOutcome, ServeError, Server, ServerConfig};

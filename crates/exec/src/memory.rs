@@ -66,9 +66,19 @@ impl MemoryTracker {
         }
     }
 
-    /// Shrink the current usage.
+    /// Shrink the current usage. Saturates at zero rather than wrapping:
+    /// a release larger than the current total would otherwise poison
+    /// every later reading with a number near `u64::MAX`. The
+    /// `debug_assert` makes the double-release loud in debug builds.
     pub fn shrink(&self, bytes: u64) {
-        self.current.fetch_sub(bytes, Ordering::Relaxed);
+        let prev = self
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| Some(c.saturating_sub(bytes)))
+            .unwrap_or(0);
+        debug_assert!(
+            prev >= bytes,
+            "MemoryTracker::shrink({bytes}) exceeds current {prev} — double release?"
+        );
         if let Some(parent) = &self.parent {
             parent.shrink(bytes);
         }
@@ -178,6 +188,24 @@ mod tests {
         assert_eq!(op_b.peak(), 60);
         // …and can never exceed the query peak.
         assert!(op_a.peak() <= query.peak() && op_b.peak() <= query.peak());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn shrink_saturates_instead_of_wrapping() {
+        let t = MemoryTracker::new();
+        t.grow(10);
+        t.shrink(25);
+        assert_eq!(t.current(), 0, "over-release must saturate, not wrap");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double release")]
+    fn shrink_underflow_is_loud_in_debug() {
+        let t = MemoryTracker::new();
+        t.grow(10);
+        t.shrink(25);
     }
 
     #[test]

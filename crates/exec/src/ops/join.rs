@@ -26,6 +26,7 @@ use bdcc_storage::{Column, DataType};
 use crate::batch::{Batch, ColMeta, OpSchema};
 use crate::error::{ExecError, Result};
 use crate::expr::Expr;
+use crate::govern::Governor;
 use crate::hash::JoinIndex;
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
@@ -78,6 +79,9 @@ pub struct HashJoin {
     /// partitioned-vs-single annotation, probe-morsel counts/latencies.
     /// `None` costs nothing.
     metrics: Option<Arc<OpMetrics>>,
+    /// Per-query governance checkpoint, polled once per probe round
+    /// (inert by default).
+    governor: Governor,
 }
 
 impl HashJoin {
@@ -134,6 +138,7 @@ impl HashJoin {
             parallel: None,
             out: VecDeque::new(),
             metrics: None,
+            governor: Governor::none(),
         })
     }
 
@@ -148,6 +153,13 @@ impl HashJoin {
     /// Attach the profiling metric block (planner-installed).
     pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> HashJoin {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach the per-query governor (planner-installed); probe rounds
+    /// become cancellation/deadline/budget checkpoints.
+    pub fn with_governor(mut self, governor: Governor) -> HashJoin {
+        self.governor = governor;
         self
     }
 
@@ -220,6 +232,7 @@ impl HashJoin {
     /// pool tasks as well, appending outputs in batch order — so each
     /// batch's output is byte-identical to the serial probe's.
     fn probe_round(&self, round: &[Batch]) -> Result<Vec<Batch>> {
+        self.governor.check("probe-round")?;
         let build = self.build.as_ref().expect("built");
         let total: usize = round.iter().map(|b| b.rows()).sum();
         let fan_out = match &self.parallel {
@@ -267,29 +280,30 @@ impl HashJoin {
         let (left_keys, join_type) = (&self.left_keys, self.join_type);
         let residual = self.residual.as_ref();
         let metrics = self.metrics.as_ref();
-        let per: Vec<Vec<ProbePiece>> = pool::run_tasks(cfg.threads, tasks.len(), |t| {
-            let span = metrics.map(|_| SpanTimer::start());
-            let pieces: Result<Vec<ProbePiece>> = tasks[t]
-                .iter()
-                .map(|(bi, range)| {
-                    let lists = probe_range(
-                        &round[*bi],
-                        build,
-                        left_keys,
-                        join_type,
-                        residual,
-                        range.clone(),
-                    )?;
-                    Ok((*bi, lists))
-                })
-                .collect();
-            if let (Some(m), Some(span)) = (metrics, span) {
-                m.morsels.add(1);
-                m.morsel_rows.add(tasks[t].iter().map(|(_, r)| r.len() as u64).sum());
-                m.morsel_nanos.record(span.elapsed_nanos());
-            }
-            pieces
-        })?;
+        let per: Vec<Vec<ProbePiece>> =
+            pool::run_tasks_labeled(cfg.threads, tasks.len(), "join-probe", |t| {
+                let span = metrics.map(|_| SpanTimer::start());
+                let pieces: Result<Vec<ProbePiece>> = tasks[t]
+                    .iter()
+                    .map(|(bi, range)| {
+                        let lists = probe_range(
+                            &round[*bi],
+                            build,
+                            left_keys,
+                            join_type,
+                            residual,
+                            range.clone(),
+                        )?;
+                        Ok((*bi, lists))
+                    })
+                    .collect();
+                if let (Some(m), Some(span)) = (metrics, span) {
+                    m.morsels.add(1);
+                    m.morsel_rows.add(tasks[t].iter().map(|(_, r)| r.len() as u64).sum());
+                    m.morsel_nanos.record(span.elapsed_nanos());
+                }
+                pieces
+            })?;
         // Pieces flatten back in batch-major, range-ascending order
         // whatever the task boundaries were; group them per batch, then
         // fan the per-batch output assembly (match-list concat + column
@@ -307,7 +321,7 @@ impl HashJoin {
             grouped.push(Mutex::new(lists));
         }
         let (right_arity, join_type) = (self.right_arity, self.join_type);
-        pool::run_tasks(cfg.threads, round.len(), |bi| {
+        pool::run_tasks_labeled(cfg.threads, round.len(), "join-assemble", |bi| {
             // Each gather task *takes* its batch's match lists (tasks are
             // per-batch, so the one lock is uncontended and the lists are
             // never copied).

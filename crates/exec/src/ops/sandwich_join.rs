@@ -24,6 +24,7 @@ use bdcc_storage::Column;
 use crate::batch::{Batch, OpSchema};
 use crate::error::{ExecError, Result};
 use crate::expr::Expr;
+use crate::govern::Governor;
 use crate::hash::JoinIndex;
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
@@ -153,6 +154,9 @@ pub struct SandwichHashJoin {
     groups_joined: u64,
     groups_left_only: u64,
     groups_right_only: u64,
+    /// Per-query governance checkpoint, polled once per merged group
+    /// (inert by default).
+    governor: Governor,
 }
 
 impl SandwichHashJoin {
@@ -216,6 +220,7 @@ impl SandwichHashJoin {
             groups_joined: 0,
             groups_left_only: 0,
             groups_right_only: 0,
+            governor: Governor::none(),
         })
     }
 
@@ -230,6 +235,13 @@ impl SandwichHashJoin {
     /// Attach the profiling metric block (planner-installed).
     pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> SandwichHashJoin {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach the per-query governor (planner-installed); every merged
+    /// group becomes a cancellation/deadline/budget checkpoint.
+    pub fn with_governor(mut self, governor: Governor) -> SandwichHashJoin {
+        self.governor = governor;
         self
     }
 
@@ -269,6 +281,7 @@ impl Operator for SandwichHashJoin {
         }
         // Merge group streams; the *right* side is the build side.
         loop {
+            self.governor.check("sandwich-group")?;
             let cmp = match (&self.lgroup, &self.rgroup) {
                 (Some((lk, _)), Some((rk, _))) => lk.cmp(rk),
                 _ => {

@@ -103,6 +103,7 @@ use bdcc_storage::{Column, IoTracker};
 use crate::batch::{Batch, OpSchema};
 use crate::error::Result;
 use crate::expr::Expr;
+use crate::govern::Governor;
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::agg::{AggSpec, PartialAgg};
 use crate::ops::transform::{Filter, Project};
@@ -261,6 +262,10 @@ pub struct ParallelScan {
     /// the workers, reorder-buffer occupancy from the consumer, and the
     /// chosen execution path as an annotation. `None` costs nothing.
     metrics: Option<Arc<OpMetrics>>,
+    /// Per-query limits checked by every producer before it scans its
+    /// morsel, so cancellation stops a streaming fan-out within one
+    /// morsel. Inert by default.
+    governor: Governor,
 }
 
 impl ParallelScan {
@@ -274,12 +279,27 @@ impl ParallelScan {
         // Building (not running) the whole-leaf operator is cheap and
         // yields the schema.
         let schema = fragment.build(&io, None)?.schema().clone();
-        Ok(ParallelScan { fragment, io, cfg, tracker, schema, exec: ScanExec::Idle, metrics: None })
+        Ok(ParallelScan {
+            fragment,
+            io,
+            cfg,
+            tracker,
+            schema,
+            exec: ScanExec::Idle,
+            metrics: None,
+            governor: Governor::none(),
+        })
     }
 
     /// Attach the profiling metric block (planner-installed).
     pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> ParallelScan {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach the query's governor (planner-installed).
+    pub fn with_governor(mut self, governor: Governor) -> ParallelScan {
+        self.governor = governor;
         self
     }
 
@@ -305,28 +325,39 @@ impl ParallelScan {
         let io = self.io.clone();
         let tracker = Arc::clone(&self.tracker);
         let metrics = self.metrics.clone();
+        let governor = self.governor.clone();
         let ntasks = morsels.len();
         let cap = self.cfg.threads * STREAM_CAP_PER_THREAD;
-        let stream = pool::OrderedStream::spawn(self.cfg.threads, ntasks, cap, move |i| {
-            let span = metrics.as_ref().map(|_| SpanTimer::start());
-            let mut op = fragment.build_with_metrics(&io, Some(&morsels[i]), metrics.clone())?;
-            let mut out = Vec::new();
-            let mut rows = 0u64;
-            while let Some(b) = op.next()? {
-                rows += b.rows() as u64;
-                out.push(b);
-            }
-            if let (Some(m), Some(span)) = (&metrics, span) {
-                m.morsels.add(1);
-                m.morsel_rows.add(rows);
-                m.morsel_nanos.record(span.elapsed_nanos());
-            }
-            // Charge the morsel while it sits in the reorder buffer (and
-            // until the consumer finishes draining it); with the in-flight
-            // cap this is what keeps peak O(threads × morsel).
-            let bytes: u64 = out.iter().map(|b| b.estimated_bytes()).sum();
-            Ok((out, tracker.register(bytes)))
-        });
+        let stream = pool::OrderedStream::spawn_labeled(
+            self.cfg.threads,
+            ntasks,
+            cap,
+            Some("scan-morsel"),
+            move |i| {
+                // One governor poll per morsel: a cancelled/over-deadline
+                // query stops this producer before it scans another morsel.
+                governor.check("scan-morsel")?;
+                let span = metrics.as_ref().map(|_| SpanTimer::start());
+                let mut op =
+                    fragment.build_with_metrics(&io, Some(&morsels[i]), metrics.clone())?;
+                let mut out = Vec::new();
+                let mut rows = 0u64;
+                while let Some(b) = op.next()? {
+                    rows += b.rows() as u64;
+                    out.push(b);
+                }
+                if let (Some(m), Some(span)) = (&metrics, span) {
+                    m.morsels.add(1);
+                    m.morsel_rows.add(rows);
+                    m.morsel_nanos.record(span.elapsed_nanos());
+                }
+                // Charge the morsel while it sits in the reorder buffer (and
+                // until the consumer finishes draining it); with the in-flight
+                // cap this is what keeps peak O(threads × morsel).
+                let bytes: u64 = out.iter().map(|b| b.estimated_bytes()).sum();
+                Ok((out, tracker.register(bytes)))
+            },
+        );
         self.exec = ScanExec::Streaming { stream, current: Vec::new().into_iter(), mem: None };
         Ok(())
     }
@@ -427,6 +458,8 @@ pub struct ParallelAggregate {
     /// the fan-out workers plus the strategy decision (and the probe's
     /// estimates) as annotations. `None` costs nothing.
     metrics: Option<Arc<OpMetrics>>,
+    /// Per-query limits, polled once per fan-out task. Inert by default.
+    governor: Governor,
 }
 
 /// One morsel's radix-partitioned input: per partition, the gathered
@@ -513,12 +546,19 @@ impl ParallelAggregate {
             schema,
             done: false,
             metrics: None,
+            governor: Governor::none(),
         })
     }
 
     /// Attach the profiling metric block (planner-installed).
     pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> ParallelAggregate {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach the query's governor (planner-installed).
+    pub fn with_governor(mut self, governor: Governor) -> ParallelAggregate {
+        self.governor = governor;
         self
     }
 
@@ -669,7 +709,8 @@ impl ParallelAggregate {
         // existing exactly once in phase 2.
         let cached = std::sync::Mutex::new(cached);
         let phase1: Vec<MorselPartitions> =
-            pool::run_tasks(self.cfg.threads, morsels.len(), |i| {
+            pool::run_tasks_labeled(self.cfg.threads, morsels.len(), "agg-radix-p1", |i| {
+                self.governor.check("agg-radix-p1")?;
                 let span = self.metrics.as_ref().map(|_| SpanTimer::start());
                 let hit = cached.lock().expect("probe cache poisoned").remove(&i);
                 let (parts, rows, bytes) = match hit {
@@ -702,7 +743,8 @@ impl ParallelAggregate {
 
         // Phase 2 — one aggregation task per partition, each charging its
         // table to the tracker while it exists.
-        let finished = pool::run_tasks(self.cfg.threads, nparts, |p| {
+        let finished = pool::run_tasks_labeled(self.cfg.threads, nparts, "agg-radix-p2", |p| {
+            self.governor.check("agg-radix-p2")?;
             let mut part = self.fresh_partial()?;
             for (m, mp) in phase1.iter().enumerate() {
                 for (batch, ids) in &mp.parts[p] {
@@ -745,30 +787,32 @@ impl Operator for ParallelAggregate {
         // aggregated from their cached batches (the results are
         // identical — a partial is a pure fold of the morsel's stream).
         let cached = std::sync::Mutex::new(probe.cached);
-        let mut partials = pool::run_tasks(self.cfg.threads, morsels.len(), |i| {
-            let span = self.metrics.as_ref().map(|_| SpanTimer::start());
-            // Bind the cache hit outside the match: a scrutinee temporary
-            // would hold the lock across the whole aggregation arm.
-            let hit = cached.lock().expect("probe cache poisoned").remove(&i);
-            let (p, rows) = match hit {
-                Some(batches) => {
-                    let mut p = self.fresh_partial()?;
-                    let mut rows = 0u64;
-                    for b in &batches {
-                        rows += b.rows() as u64;
-                        p.consume(b)?;
+        let mut partials =
+            pool::run_tasks_labeled(self.cfg.threads, morsels.len(), "agg-partial", |i| {
+                self.governor.check("agg-partial")?;
+                let span = self.metrics.as_ref().map(|_| SpanTimer::start());
+                // Bind the cache hit outside the match: a scrutinee temporary
+                // would hold the lock across the whole aggregation arm.
+                let hit = cached.lock().expect("probe cache poisoned").remove(&i);
+                let (p, rows) = match hit {
+                    Some(batches) => {
+                        let mut p = self.fresh_partial()?;
+                        let mut rows = 0u64;
+                        for b in &batches {
+                            rows += b.rows() as u64;
+                            p.consume(b)?;
+                        }
+                        (p, rows)
                     }
-                    (p, rows)
+                    None => self.morsel_partial(&morsels[i])?,
+                };
+                if let (Some(m), Some(span)) = (&self.metrics, span) {
+                    m.morsels.add(1);
+                    m.morsel_rows.add(rows);
+                    m.morsel_nanos.record(span.elapsed_nanos());
                 }
-                None => self.morsel_partial(&morsels[i])?,
-            };
-            if let (Some(m), Some(span)) = (&self.metrics, span) {
-                m.morsels.add(1);
-                m.morsel_rows.add(rows);
-                m.morsel_nanos.record(span.elapsed_nanos());
-            }
-            Ok(p)
-        })?;
+                Ok(p)
+            })?;
         if partials.is_empty() {
             partials.push(self.fresh_partial()?);
         }

@@ -97,16 +97,17 @@ pub fn hash_partition_rows(
     let rows = key_cols.first().map(|c| c.len()).unwrap_or(0);
     let chunk = cfg.morsel_rows.max(1);
     let starts: Vec<usize> = (0..rows).step_by(chunk).collect();
-    let per_chunk: Vec<Vec<Vec<u32>>> = pool::run_tasks(cfg.threads, starts.len(), |i| {
-        let lo = starts[i];
-        let hi = (lo + chunk).min(rows);
-        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); nparts];
-        for r in lo..hi {
-            let p = partition_of(hash_row(key_cols, r), bits);
-            parts[p].push(r as u32);
-        }
-        Ok(parts)
-    })?;
+    let per_chunk: Vec<Vec<Vec<u32>>> =
+        pool::run_tasks_labeled(cfg.threads, starts.len(), "build-partition", |i| {
+            let lo = starts[i];
+            let hi = (lo + chunk).min(rows);
+            let mut parts: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+            for r in lo..hi {
+                let p = partition_of(hash_row(key_cols, r), bits);
+                parts[p].push(r as u32);
+            }
+            Ok(parts)
+        })?;
     // Ordered merge: chunk order == ascending row order per partition.
     let mut merged: Vec<Vec<u32>> = vec![Vec::new(); nparts];
     for chunk_parts in per_chunk {

@@ -77,6 +77,27 @@ where
     WorkerPool::shared().scope_run(width, ntasks, task)
 }
 
+/// [`run_tasks`] with a static label naming the fan-out site in
+/// re-raised panic payloads (`pool job 'join-probe' panicked: ...`) —
+/// what identifies the dead operator when a worker panics during a
+/// many-client serving run.
+pub fn run_tasks_labeled<T, F>(
+    threads: usize,
+    ntasks: usize,
+    label: &'static str,
+    task: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let width = threads.min(ntasks);
+    if width <= 1 {
+        return (0..ntasks).map(&task).collect();
+    }
+    WorkerPool::shared().scope_run_labeled(width, ntasks, Some(label), task)
+}
+
 /// The spawn-per-fan-out `run_tasks` this façade replaced: a fresh
 /// `std::thread::scope` per call, same ordering/short-circuit/panic
 /// contract. Kept **only** as the measurable baseline for the

@@ -118,7 +118,9 @@ impl Operator for ParallelSort {
             let mut mem = self.tracker.register(bytes);
             let keys = &self.keys;
             let sorted: Vec<Batch> =
-                pool::run_tasks(self.cfg.threads, runs.len(), |i| Ok(sort_run(&runs[i], keys)))?;
+                pool::run_tasks_labeled(self.cfg.threads, runs.len(), "sort-run", |i| {
+                    Ok(sort_run(&runs[i], keys))
+                })?;
             // …then the unsorted runs are dead: drop them before the merge
             // so only the sorted copies stay resident, and resize the
             // charge to that live set (held through merge + gather).

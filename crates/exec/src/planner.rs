@@ -21,13 +21,16 @@
 //! satisfy any requested order (that is what makes them scatter scans).
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bdcc_catalog::{ForeignKey, TableId};
 use bdcc_core::BdccTable;
+use bdcc_pool::{CancelToken, FaultInjector};
 use bdcc_storage::IoTracker;
 
 use crate::error::{ExecError, Result};
 use crate::expr::Expr;
+use crate::govern::{GovernedOp, Governor};
 use crate::memory::MemoryTracker;
 use crate::ops::agg::{HashAggregate, SandwichAggregate, StreamingAggregate};
 use crate::ops::bdcc_scan::GroupSpec;
@@ -62,6 +65,13 @@ pub struct QueryContext {
     /// [`crate::profile`]); results stay byte-identical. `None` (the
     /// default without `BDCC_PROFILE=1`) allocates and wraps nothing.
     pub profiler: Option<Profiler>,
+    /// Per-query limits (cancellation, deadline, memory budget, fault
+    /// injection) checked at every morsel-grained checkpoint; inert by
+    /// default (see [`crate::govern`]). Installed by the
+    /// `with_cancel`/`with_deadline`/`with_memory_budget`/
+    /// `with_fault_injector` builder methods — the serving layer's hook
+    /// into execution.
+    pub governor: Governor,
 }
 
 impl QueryContext {
@@ -72,6 +82,7 @@ impl QueryContext {
             io: IoTracker::new(),
             parallel: None,
             profiler: Profiler::from_env(),
+            governor: Governor::none(),
         }
     }
 
@@ -92,6 +103,7 @@ impl QueryContext {
             io: IoTracker::new(),
             parallel: Some(parallel),
             profiler: Profiler::from_env(),
+            governor: Governor::none(),
         }
     }
 
@@ -100,6 +112,48 @@ impl QueryContext {
     /// `plan_query` builds the profile tree alongside the plan.
     pub fn with_profiling(mut self) -> QueryContext {
         self.profiler = Some(Profiler::new());
+        self
+    }
+
+    /// Thread an externally held [`CancelToken`] through execution:
+    /// every morsel loop, probe round and streaming-scan producer checks
+    /// it, so `cancel()` unwinds the query mid-fan-out within one morsel
+    /// (typed as [`ExecError::Cancelled`]) and RAII guards release every
+    /// tracked byte.
+    pub fn with_cancel(mut self, token: CancelToken) -> QueryContext {
+        let tracker = Arc::clone(&self.tracker);
+        self.governor.set_cancel(token, &tracker);
+        self
+    }
+
+    /// Fail the query with [`ExecError::DeadlineExceeded`] once
+    /// execution runs past `timeout` from now.
+    pub fn with_deadline(self, timeout: Duration) -> QueryContext {
+        self.with_deadline_at(Instant::now() + timeout)
+    }
+
+    /// Deadline as an absolute instant (lets a server charge queue wait
+    /// time against the deadline, not just execution time).
+    pub fn with_deadline_at(mut self, at: Instant) -> QueryContext {
+        let tracker = Arc::clone(&self.tracker);
+        self.governor.set_deadline(at, &tracker);
+        self
+    }
+
+    /// Fail the query with [`ExecError::BudgetExceeded`] when its
+    /// tracked memory (this context's `tracker`) exceeds `bytes` —
+    /// graceful per-query degradation instead of process death.
+    pub fn with_memory_budget(mut self, bytes: u64) -> QueryContext {
+        let tracker = Arc::clone(&self.tracker);
+        self.governor.set_budget(bytes, &tracker);
+        self
+    }
+
+    /// Consult `injector` at every checkpoint (delays, simulated I/O
+    /// errors typed as [`ExecError::Injected`], worker panics).
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> QueryContext {
+        let tracker = Arc::clone(&self.tracker);
+        self.governor.set_injector(injector, &tracker);
         self
     }
 }
@@ -151,13 +205,21 @@ pub fn plan_query(ctx: &QueryContext, node: &Node) -> Result<BoxedOp> {
     };
     let planner = Planner { ctx, restrictions };
     let out = planner.build(node, &[])?;
-    if let (Some(profiler), Some(root)) = (&ctx.profiler, &out.prof) {
+    let op = if let (Some(profiler), Some(root)) = (&ctx.profiler, &out.prof) {
         profiler.set_root(Arc::clone(root));
         // The root edge wrapper (no parent) books the query's output rows
         // and the root operator's wall time.
-        return Ok(wrap_edge(out.op, &out.prof, &None));
+        wrap_edge(out.op, &out.prof, &None)
+    } else {
+        out.op
+    };
+    // Governed queries poll limits before every root batch too, so even
+    // a fully serial plan observes cancellation at batch granularity.
+    // Ungoverned plans are structurally unchanged.
+    if ctx.governor.is_active() {
+        return Ok(Box::new(GovernedOp::new(op, ctx.governor.clone(), "plan-root")));
     }
-    Ok(out.op)
+    Ok(op)
 }
 
 /// One `(scan, dimension use)` occurrence.
@@ -611,17 +673,25 @@ impl<'a> Planner<'a> {
         let op: BoxedOp = match &self.ctx.parallel {
             Some(cfg) if cfg.worth_splitting(blueprint.total_rows()) => Box::new(
                 ParallelScan::new(blueprint, io, cfg.clone(), tracker)?
-                    .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics))),
+                    .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)))
+                    .with_governor(self.ctx.governor.clone()),
             ),
             _ => {
                 if let Some(p) = &prof {
                     p.metrics.annotate("path", "serial");
                 }
-                blueprint.build_with_metrics(
+                let scan = blueprint.build_with_metrics(
                     &io,
                     None,
                     prof.as_ref().map(|p| Arc::clone(&p.metrics)),
-                )?
+                )?;
+                // Serial leaves are where an otherwise-unparallel plan
+                // spends its time — poll the governor per batch there.
+                if self.ctx.governor.is_active() {
+                    Box::new(GovernedOp::new(scan, self.ctx.governor.clone(), "scan-batch"))
+                } else {
+                    scan
+                }
             }
         };
         // Alias: rename base columns, keep group keys. The rename rides
@@ -741,7 +811,8 @@ impl<'a> Planner<'a> {
                                 self.op_tracker(&prof),
                             )?
                             .with_parallel(self.ctx.parallel.clone())
-                            .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)));
+                            .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)))
+                            .with_governor(self.ctx.governor.clone());
                             // Output keeps the left columns at unchanged
                             // positions; requested = the first
                             // `requested.len()` sandwich keys.
@@ -803,7 +874,8 @@ impl<'a> Planner<'a> {
         let j =
             HashJoin::new(lop, rop, &on_refs, join_type, residual.clone(), self.op_tracker(&prof))?
                 .with_parallel(self.ctx.parallel.clone())
-                .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)));
+                .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)))
+                .with_governor(self.ctx.governor.clone());
         Ok(PhysOut { op: Box::new(j), gk_cols: lout.gk_cols, prof })
     }
 
@@ -892,7 +964,8 @@ impl<'a> Planner<'a> {
                         cfg,
                         self.op_tracker(&prof),
                     )?
-                    .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)));
+                    .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)))
+                    .with_governor(self.ctx.governor.clone());
                     return Ok(PhysOut { op: Box::new(op), gk_cols: vec![], prof });
                 }
             }

@@ -76,7 +76,9 @@ pub fn explain_analyze(ctx: &QueryContext, plan: &Node) -> Result<Analyzed> {
     let pool_base = WorkerPool::shared().stats();
     let (batch, measurement) = run_measured(&ctx, plan)?;
     let pool = WorkerPool::shared().stats().since(&pool_base);
-    let profiler = ctx.profiler.as_ref().expect("with_profiling installs a profiler");
+    let profiler = ctx.profiler.as_ref().ok_or_else(|| {
+        ExecError::Internal("explain_analyze ran without a profiler installed".into())
+    })?;
     let profile = profiler
         .finalize(
             (measurement.seconds * 1e9) as u64,

@@ -49,6 +49,8 @@
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod serve;
 
 pub use metrics::{Counter, LogHistogram, MaxGauge, SpanTimer};
 pub use profile::{OpMetrics, ProfileNode, QueryProfile};
+pub use serve::ServeMetrics;

@@ -1,0 +1,93 @@
+//! Serving-layer telemetry: one [`ServeMetrics`] block per
+//! [`Server`](../bdcc_exec/serve/struct.Server.html), counting every
+//! admission decision and query outcome, plus latency histograms for
+//! queue wait and execution time.
+//!
+//! Same overhead contract as the rest of the crate: relaxed atomics
+//! touched once per *query* (admission, completion), never inside the
+//! execution hot path. The counters are monotone, so a snapshot taken
+//! while sessions are still running is a consistent lower bound.
+
+use crate::metrics::{Counter, LogHistogram};
+
+/// Counters and latency histograms for one serving endpoint.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Queries offered to the server (admitted + rejected).
+    pub submitted: Counter,
+    /// Queries that entered the admission queue.
+    pub admitted: Counter,
+    /// Queries bounced with `Overloaded` (queue at capacity).
+    pub rejected: Counter,
+    /// Queries that ran to completion and produced a result batch.
+    pub completed: Counter,
+    /// Queries that ended with a typed non-success outcome.
+    pub cancelled: Counter,
+    pub deadline_exceeded: Counter,
+    pub budget_exceeded: Counter,
+    /// Injected faults surfaced as typed errors.
+    pub injected: Counter,
+    /// Worker panics caught and converted to typed errors.
+    pub panicked: Counter,
+    /// Other execution errors.
+    pub failed: Counter,
+    /// Nanoseconds a query waited between admission and execution start.
+    pub queue_wait_nanos: LogHistogram,
+    /// Nanoseconds of query execution (successful or not).
+    pub exec_nanos: LogHistogram,
+}
+
+impl ServeMetrics {
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Queries currently in flight cannot be counted from monotone
+    /// counters; this is the terminal tally (everything admitted that
+    /// has reached *some* outcome).
+    pub fn finished(&self) -> u64 {
+        self.completed.get()
+            + self.cancelled.get()
+            + self.deadline_exceeded.get()
+            + self.budget_exceeded.get()
+            + self.injected.get()
+            + self.panicked.get()
+            + self.failed.get()
+    }
+
+    /// `(name, value)` pairs for report rendering, in a stable order.
+    pub fn pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("submitted", self.submitted.get()),
+            ("admitted", self.admitted.get()),
+            ("rejected", self.rejected.get()),
+            ("completed", self.completed.get()),
+            ("cancelled", self.cancelled.get()),
+            ("deadline_exceeded", self.deadline_exceeded.get()),
+            ("budget_exceeded", self.budget_exceeded.get()),
+            ("injected", self.injected.get()),
+            ("panicked", self.panicked.get()),
+            ("failed", self.failed.get()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finished_sums_terminal_outcomes() {
+        let m = ServeMetrics::new();
+        m.submitted.add(5);
+        m.admitted.add(4);
+        m.rejected.add(1);
+        m.completed.add(2);
+        m.deadline_exceeded.add(1);
+        m.panicked.add(1);
+        assert_eq!(m.finished(), 4);
+        let pairs = m.pairs();
+        assert_eq!(pairs[0], ("submitted", 5));
+        assert_eq!(pairs[2], ("rejected", 1));
+    }
+}

@@ -16,7 +16,16 @@
 //!
 //! The two execution shapes, their contracts and the thread-lending rule
 //! that makes nested fan-outs deadlock-free are documented on [`pool`].
+//!
+//! Robustness plumbing lives beside the pool: [`cancel`] provides the
+//! cooperative [`CancelToken`] the serving layer threads through query
+//! execution, and [`inject`] the opt-in [`FaultInjector`] consulted at
+//! pool-job boundaries when a process explicitly installs one.
 
+pub mod cancel;
+pub mod inject;
 pub mod pool;
 
+pub use cancel::{CancelReason, CancelToken};
+pub use inject::{Fault, FaultInjector, FaultPlan};
 pub use pool::{scope_run_spawning, OrderedStream, PoolFailure, PoolStats, WorkerPool};

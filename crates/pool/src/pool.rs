@@ -435,6 +435,27 @@ impl WorkerPool {
         E: Send + From<PoolFailure>,
         F: Fn(usize) -> Result<T, E> + Sync,
     {
+        self.scope_run_labeled(width, ntasks, None, task)
+    }
+
+    /// [`scope_run`](Self::scope_run) with a static job label. The label
+    /// names the fan-out site in re-raised panic payloads (`pool job
+    /// 'join-probe' panicked: ...`), so a worker panic during a
+    /// many-client serving run identifies the operator that died instead
+    /// of an anonymous task index. Unlabeled scopes re-raise the original
+    /// payload untouched.
+    pub fn scope_run_labeled<T, E, F>(
+        &self,
+        width: usize,
+        ntasks: usize,
+        label: Option<&'static str>,
+        task: F,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send + From<PoolFailure>,
+        F: Fn(usize) -> Result<T, E> + Sync,
+    {
         if width <= 1 || ntasks <= 1 {
             return (0..ntasks).map(&task).collect();
         }
@@ -454,6 +475,7 @@ impl WorkerPool {
             gate: ClaimGate::new(width),
             failed: AtomicBool::new(false),
             panic: Mutex::new(None),
+            label,
         });
         {
             let mut q = self.shared.queues.lock().expect("pool queues poisoned");
@@ -614,6 +636,18 @@ struct ScopeCore {
     failed: AtomicBool,
     /// First panic payload, re-raised on the calling thread.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Fan-out site name, prefixed onto re-raised panic payloads; `None`
+    /// re-raises the original payload untouched.
+    label: Option<&'static str>,
+}
+
+/// Render a caught panic payload for embedding in a labeled message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
 }
 
 unsafe impl Send for ScopeCore {}
@@ -629,7 +663,12 @@ impl JobRunner for ScopeCore {
             // SAFETY: scope_run guarantees the pointees outlive this call
             // (it blocks until `remaining` reaches zero, which happens
             // strictly after this body).
-            match catch_unwind(AssertUnwindSafe(|| unsafe { (self.run_one)(self.data, index) })) {
+            match catch_unwind(AssertUnwindSafe(|| {
+                if let Some(inj) = crate::inject::global() {
+                    inj.job_boundary(self.label.unwrap_or("scope-job"));
+                }
+                unsafe { (self.run_one)(self.data, index) }
+            })) {
                 Ok(is_err) => {
                     if is_err {
                         self.failed.store(true, Ordering::Relaxed);
@@ -638,7 +677,16 @@ impl JobRunner for ScopeCore {
                 Err(payload) => {
                     let mut slot = self.panic.lock().expect("scope panic slot poisoned");
                     if slot.is_none() {
-                        *slot = Some(payload);
+                        // A labeled scope re-raises a message naming the
+                        // fan-out site; an unlabeled one re-raises the
+                        // caller's original payload untouched.
+                        *slot = Some(match self.label {
+                            Some(l) => Box::new(format!(
+                                "pool job '{l}' panicked: {}",
+                                panic_message(payload.as_ref())
+                            )),
+                            None => payload,
+                        });
                     }
                     self.failed.store(true, Ordering::Relaxed);
                 }
@@ -769,6 +817,8 @@ struct StreamJob<T, E> {
     /// At most `threads` bodies of this stream execute concurrently,
     /// whatever the warm pool's width.
     gate: ClaimGate,
+    /// Fan-out site name included in panic-derived [`PoolFailure`]s.
+    label: Option<&'static str>,
 }
 
 impl<T, E> JobRunner for StreamJob<T, E>
@@ -795,13 +845,18 @@ where
         // A panicking task must still publish *something*, or the consumer
         // would wait on its index forever. Surface it as an error at the
         // task's index instead.
-        let r = catch_unwind(AssertUnwindSafe(|| (self.shared.task)(index))).unwrap_or_else(|p| {
-            let msg = p
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| p.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            Err(E::from(PoolFailure(format!("streaming worker panicked: {msg}"))))
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(inj) = crate::inject::global() {
+                inj.job_boundary(self.label.unwrap_or("stream-job"));
+            }
+            (self.shared.task)(index)
+        }))
+        .unwrap_or_else(|p| {
+            let msg = panic_message(p.as_ref());
+            Err(E::from(PoolFailure(match self.label {
+                Some(l) => format!("streaming worker '{l}' panicked: {msg}"),
+                None => format!("streaming worker panicked: {msg}"),
+            })))
         });
         let mut st = self.shared.state.lock().expect("stream state poisoned");
         st.running -= 1;
@@ -843,6 +898,21 @@ where
     where
         F: Fn(usize) -> Result<T, E> + Send + Sync + 'static,
     {
+        OrderedStream::spawn_labeled(threads, ntasks, cap, None, task)
+    }
+
+    /// [`spawn`](Self::spawn) with a static job label naming the fan-out
+    /// site in panic-derived [`PoolFailure`] messages.
+    pub fn spawn_labeled<F>(
+        threads: usize,
+        ntasks: usize,
+        cap: usize,
+        label: Option<&'static str>,
+        task: F,
+    ) -> OrderedStream<T, E>
+    where
+        F: Fn(usize) -> Result<T, E> + Send + Sync + 'static,
+    {
         let threads = threads.min(ntasks).max(1);
         let pool = WorkerPool::shared();
         pool.ensure_workers(threads);
@@ -858,8 +928,11 @@ where
             cond: Condvar::new(),
             task: Box::new(task),
         });
-        let runner: Arc<dyn JobRunner> =
-            Arc::new(StreamJob { shared: Arc::clone(&shared), gate: ClaimGate::new(threads) });
+        let runner: Arc<dyn JobRunner> = Arc::new(StreamJob {
+            shared: Arc::clone(&shared),
+            gate: ClaimGate::new(threads),
+            label,
+        });
         let stream = OrderedStream { shared, runner, pool, ntasks, next: 0 };
         let initial = cap.min(ntasks);
         stream.shared.state.lock().expect("stream state poisoned").submitted = initial;
@@ -1223,6 +1296,43 @@ mod tests {
         }
         let expect: usize = (0..30).map(|v| (0..6).map(|j| v * 10 + j).sum::<usize>()).sum();
         assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn labeled_scope_panic_names_the_fanout_site() {
+        let pool = WorkerPool::new(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _: Vec<usize> = pool
+                .scope_run_labeled(4, 16, Some("probe-round"), |i| {
+                    if i == 3 {
+                        panic!("index died");
+                    }
+                    R::Ok(i)
+                })
+                .unwrap();
+        }));
+        let payload = r.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("labeled payload is a String");
+        assert_eq!(msg, "pool job 'probe-round' panicked: index died");
+    }
+
+    #[test]
+    fn labeled_stream_panic_names_the_fanout_site() {
+        let mut s: OrderedStream<usize, TestErr> =
+            OrderedStream::spawn_labeled(2, 8, 4, Some("scan-morsel"), |i| {
+                if i == 0 {
+                    panic!("morsel died");
+                }
+                Ok(i)
+            });
+        let err = loop {
+            match s.recv() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("stream must surface the panic"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.0, "streaming worker 'scan-morsel' panicked: morsel died");
     }
 
     #[test]

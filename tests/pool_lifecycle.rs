@@ -98,3 +98,67 @@ fn no_os_thread_is_created_after_warmup_across_queries() {
     let after = WorkerPool::shared().stats().threads_spawned_total;
     assert_eq!(after, warm, "a warm pool must not create OS threads mid-run");
 }
+
+#[test]
+fn cancel_and_drop_mid_stream_release_all_memory_without_new_threads() {
+    use bdcc_exec::{join, plan_query, CancelToken, ExecError, PlanBuilder};
+
+    let sf = 0.004;
+    let db = bdcc::tpch::generate(&GenConfig::new(sf));
+    let sdb = Arc::new(plain_scheme(&db));
+
+    // A join over a streaming parallel scan: dropping or cancelling the
+    // root mid-pull leaves morsel producers and probe fan-outs in flight
+    // on the shared pool.
+    let nested_plan = || {
+        let pb = PlanBuilder::new();
+        join(
+            pb.scan("lineitem", &["l_orderkey", "l_extendedprice"], Vec::new()),
+            pb.scan("orders", &["o_orderkey", "o_custkey"], Vec::new()),
+            &[("l_orderkey", "o_orderkey")],
+            None,
+        )
+    };
+
+    // Warm-up at the widest width used below, then pin the baseline.
+    let warm_ctx = QueryContext::with_parallel(Arc::clone(&sdb), nested_cfg(48));
+    let mut op = plan_query(&warm_ctx, &nested_plan()).expect("plan");
+    while op.next().expect("warm-up").is_some() {}
+    drop(op);
+    let spawned = WorkerPool::shared().stats().threads_spawned_total;
+
+    // (a) Drop mid-stream: pull one batch, then drop the whole operator
+    // tree while scan producers still hold in-flight morsels. The PR 5
+    // cancel-on-drop machinery must drain them and the RAII memory
+    // guards must release every tracked byte.
+    let ctx = QueryContext::with_parallel(Arc::clone(&sdb), nested_cfg(48));
+    let mut op = plan_query(&ctx, &nested_plan()).expect("plan");
+    assert!(op.next().expect("first batch").is_some(), "join must yield rows");
+    drop(op);
+    assert_eq!(ctx.tracker.current(), 0, "drop mid-stream must release all tracked bytes");
+
+    // (b) Cancel mid-stream: same shape, token tripped between batches;
+    // the unwind is typed and equally leak-free.
+    let token = CancelToken::new();
+    let ctx =
+        QueryContext::with_parallel(Arc::clone(&sdb), nested_cfg(48)).with_cancel(token.clone());
+    let mut op = plan_query(&ctx, &nested_plan()).expect("plan");
+    assert!(op.next().expect("first batch").is_some());
+    token.cancel();
+    let err = loop {
+        match op.next() {
+            Ok(Some(_)) => continue,
+            Ok(None) => panic!("cancelled query must not complete normally"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, ExecError::Cancelled);
+    drop(op);
+    assert_eq!(ctx.tracker.current(), 0, "cancel must release all tracked bytes");
+
+    assert_eq!(
+        WorkerPool::shared().stats().threads_spawned_total,
+        spawned,
+        "neither drop nor cancel may create OS threads"
+    );
+}
