@@ -1,0 +1,135 @@
+//! E-SPILL — out-of-core execution under a memory budget: two TPC-H
+//! workloads (a join+group-by whose hash build dominates the peak, and a
+//! fine per-orderkey aggregation that exercises the radix spill path)
+//! first run unconstrained to find their in-memory peak `P`, then re-run
+//! with a memory budget `B = P/4` and `BDCC_SPILL=auto` semantics. The
+//! spilled run must **complete**, produce **byte-identical** results,
+//! keep tracked memory within `B`, and meter real spill traffic through
+//! the `IoTracker` — each asserted here so the CI smoke fails loudly.
+//! Scale factor from `BDCC_SF` (default 0.02). Prints a table and, last,
+//! one JSON line (`{"bench":"spill",...}`) → `BENCH_spill.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bdcc_bench::{generate_db, mb, print_table, r3, scale_factor, BenchReport};
+use bdcc_exec::run::run_measured;
+use bdcc_exec::{
+    aggregate, join_full, plain_scheme, AggFunc, AggSpec, Expr, JoinType, Node, PlanBuilder,
+    QueryContext, SpillMode,
+};
+use bdcc_obs::json::Obj;
+use bdcc_storage::live_spill_files;
+
+/// ORDERS ⋈ LINEITEM with the 4-column LINEITEM side as the hash build
+/// (no FK hint, so every scheme takes the grace-hash-capable path),
+/// grouped coarsely by order date: the join build is the memory hog.
+fn join_groupby() -> Node {
+    let b = PlanBuilder::new();
+    let orders = b.scan("orders", &["o_orderkey", "o_orderdate"], vec![]);
+    let lineitem = b.scan("lineitem", &["l_orderkey", "l_extendedprice", "l_quantity"], vec![]);
+    let j =
+        join_full(orders, lineitem, &[("o_orderkey", "l_orderkey")], JoinType::Inner, None, None);
+    aggregate(
+        j,
+        &["o_orderdate"],
+        vec![
+            AggSpec::new(AggFunc::Sum, Expr::col("l_extendedprice"), "revenue"),
+            AggSpec::new(AggFunc::Sum, Expr::col("l_quantity"), "qty"),
+            AggSpec::new(AggFunc::Count, Expr::lit(1), "n"),
+        ],
+    )
+}
+
+/// One group per order over LINEITEM: the aggregation state itself is
+/// the peak, so the budget forces the radix aggregate to spill.
+fn fine_agg() -> Node {
+    let b = PlanBuilder::new();
+    let li = b.scan("lineitem", &["l_orderkey", "l_extendedprice", "l_discount"], vec![]);
+    aggregate(
+        li,
+        &["l_orderkey"],
+        vec![
+            AggSpec::new(AggFunc::Sum, Expr::col("l_extendedprice"), "price"),
+            AggSpec::new(AggFunc::Avg, Expr::col("l_discount"), "disc"),
+            AggSpec::new(AggFunc::Count, Expr::lit(1), "n"),
+        ],
+    )
+}
+
+fn main() {
+    let sf = scale_factor();
+    println!(
+        "E-SPILL — out-of-core join build + radix aggregation under a memory broker (SF {sf})"
+    );
+    let db = generate_db(sf);
+    let plain = Arc::new(plain_scheme(&db));
+    let base_files = live_spill_files();
+
+    let mut table_rows = Vec::new();
+    let mut report = BenchReport::new("spill").f64("sf", sf).u64("budget_divisor", 4);
+    for (name, plan) in [("join_groupby", join_groupby()), ("fine_agg", fine_agg())] {
+        let ctx = QueryContext::new(Arc::clone(&plain)).with_spill(SpillMode::Off);
+        let t = Instant::now();
+        let (want, off) = run_measured(&ctx, &plan).expect("in-memory reference run");
+        let off_s = t.elapsed().as_secs_f64();
+        assert!(off.peak_memory > 0, "{name}: reference peak must be tracked");
+
+        let budget = (off.peak_memory / 4).max(1);
+        let ctx = QueryContext::new(Arc::clone(&plain))
+            .with_memory_budget(budget)
+            .with_spill(SpillMode::Auto);
+        let t = Instant::now();
+        let (got, on) = run_measured(&ctx, &plan)
+            .unwrap_or_else(|e| panic!("{name}: must complete under budget {budget}: {e}"));
+        let on_s = t.elapsed().as_secs_f64();
+
+        assert_eq!(want, got, "{name}: spilled result must be byte-identical");
+        assert!(
+            on.peak_memory <= budget,
+            "{name}: tracked peak {} must fit budget {budget}",
+            on.peak_memory
+        );
+        let spill_bytes = on.io.bytes_read.saturating_sub(off.io.bytes_read);
+        assert!(spill_bytes > 0, "{name}: spill traffic must be metered through the IoTracker");
+        assert_eq!(live_spill_files(), base_files, "{name}: spill temp files must drain");
+
+        for (variant, secs, m, b) in [("in_memory", off_s, &off, 0), ("spilled", on_s, &on, budget)]
+        {
+            table_rows.push(vec![
+                name.to_string(),
+                variant.to_string(),
+                if b == 0 { "-".into() } else { mb(b) },
+                mb(m.peak_memory),
+                format!("{:.2}", secs * 1000.0),
+                m.rows.to_string(),
+            ]);
+            report.result(
+                Obj::new()
+                    .str("workload", name)
+                    .str("variant", variant)
+                    .u64("budget_bytes", b)
+                    .u64("peak_bytes", m.peak_memory)
+                    .f64("ms", r3(secs * 1000.0))
+                    .usize("rows", m.rows)
+                    .u64("spill_bytes", if b == 0 { 0 } else { spill_bytes })
+                    .f64(
+                        "peak_over_budget",
+                        if b == 0 { 0.0 } else { r3(off.peak_memory as f64 / b as f64) },
+                    )
+                    .bool("identical", true),
+            );
+        }
+        println!(
+            "{name}: peak {} → budget {} ({:.1}x over), completed byte-identical, \
+             {} spill traffic, {:.2}x wall time",
+            mb(off.peak_memory),
+            mb(budget),
+            off.peak_memory as f64 / budget as f64,
+            mb(spill_bytes),
+            on_s / off_s.max(1e-9),
+        );
+    }
+    print_table(&["workload", "variant", "budget", "peak", "ms", "rows"], &table_rows);
+    report.print();
+}

@@ -430,9 +430,9 @@ mod tests {
                 "green".into(),
             ]),
             Column::from_dates(vec![
-                parse_date("1994-01-01"),
-                parse_date("1995-06-15"),
-                parse_date("1996-12-31"),
+                parse_date("1994-01-01").unwrap(),
+                parse_date("1995-06-15").unwrap(),
+                parse_date("1996-12-31").unwrap(),
             ]),
         ])
     }
@@ -475,7 +475,7 @@ mod tests {
     fn year_and_date_cmp() {
         let e = Expr::col("d").year();
         assert_eq!(eval(e).as_i64().unwrap(), &[1994, 1995, 1996]);
-        let e = Expr::col("d").ge(Expr::lit(Datum::Date(parse_date("1995-01-01"))));
+        let e = Expr::col("d").ge(Expr::lit(Datum::Date(parse_date("1995-01-01").unwrap())));
         assert_eq!(eval(e).as_i64().unwrap(), &[0, 1, 1]);
     }
 

@@ -72,6 +72,13 @@ impl Governor {
         self.inner.as_ref().map(|i| i.token.clone())
     }
 
+    /// The query's memory budget in bytes, if one is set (what the
+    /// [`MemoryBroker`](crate::broker::MemoryBroker) derives its
+    /// pressure thresholds from).
+    pub fn budget(&self) -> Option<u64> {
+        self.inner.as_ref().and_then(|i| i.budget)
+    }
+
     fn materialize(&mut self, tracker: &Arc<MemoryTracker>) -> &mut GovInner {
         let inner = self.inner.get_or_insert_with(|| {
             Arc::new(GovInner {

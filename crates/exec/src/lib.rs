@@ -7,6 +7,7 @@
 //! into BDCC group restrictions (selection pushdown and propagation).
 
 pub mod batch;
+pub mod broker;
 pub mod enc;
 pub mod error;
 pub mod expr;
@@ -28,6 +29,7 @@ pub use batch::{Batch, BatchAssembler, ColMeta, OpSchema, BATCH_ROWS};
 pub use bdcc_obs::{OpMetrics, ProfileNode, QueryProfile};
 pub use bdcc_pool::{CancelReason, CancelToken, FaultInjector, FaultPlan};
 pub use bdcc_storage::Datum;
+pub use broker::{set_spill_mode, spill_mode, MemoryBroker, SpillMode};
 pub use enc::{BlockVerdict, ScanKernel};
 pub use error::{ExecError, Result};
 pub use expr::{ArithOp, CmpOp, Expr, LikePattern};

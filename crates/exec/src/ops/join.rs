@@ -21,9 +21,10 @@ use std::ops::Range;
 use std::sync::{Arc, Mutex};
 
 use bdcc_obs::{OpMetrics, SpanTimer};
-use bdcc_storage::{Column, DataType};
+use bdcc_storage::{Column, DataType, IoTracker};
 
 use crate::batch::{Batch, ColMeta, OpSchema};
+use crate::broker::MemoryBroker;
 use crate::error::{ExecError, Result};
 use crate::expr::Expr;
 use crate::govern::Governor;
@@ -32,6 +33,11 @@ use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
 use crate::parallel::morsel::split_rows;
 use crate::parallel::{merge, pool, ParallelConfig};
+
+#[path = "join_spill.rs"]
+mod spill;
+
+use spill::Build;
 
 /// Join flavor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,8 +72,18 @@ pub struct HashJoin {
     residual: Option<Expr>,
     schema: OpSchema,
     right_arity: usize,
-    build: Option<BuildSide>,
+    /// Build-side column types (for spilled-leaf decoding and left-outer
+    /// defaults when the build side lives on disk).
+    right_types: Vec<DataType>,
+    build: Option<Build>,
     tracker: Arc<MemoryTracker>,
+    /// Memory broker (planner-installed). When active, an over-budget
+    /// build side freezes its largest hash partitions to spill files and
+    /// probes them one restored leaf at a time — see [`crate::broker`].
+    broker: MemoryBroker,
+    /// Meters spill file writes/reads (planner-installed with the broker;
+    /// inert stand-alone tracker by default).
+    spill_io: IoTracker,
     /// When set (threads > 1), big build sides are indexed with the
     /// hash-partitioned parallel build and big probe rounds fan out as
     /// probe morsels across workers.
@@ -124,6 +140,7 @@ impl HashJoin {
             JoinType::Semi | JoinType::Anti => lschema,
         };
         let right_arity = rschema.len();
+        let right_types = rschema.iter().map(|m| m.data_type).collect();
         Ok(HashJoin {
             left,
             right: Some(right),
@@ -133,8 +150,11 @@ impl HashJoin {
             residual,
             schema,
             right_arity,
+            right_types,
             build: None,
             tracker,
+            broker: MemoryBroker::none(),
+            spill_io: IoTracker::new(),
             parallel: None,
             out: VecDeque::new(),
             metrics: None,
@@ -163,42 +183,73 @@ impl HashJoin {
         self
     }
 
-    fn build_side(&mut self) -> Result<&BuildSide> {
-        if self.build.is_none() {
-            let mut right = self.right.take().expect("build side consumed once");
-            let rschema = right.schema().clone();
-            let mut columns: Vec<Column> =
-                rschema.iter().map(|m| Column::empty(m.data_type)).collect();
-            while let Some(batch) = right.next()? {
-                for (dst, src) in columns.iter_mut().zip(&batch.columns) {
-                    dst.append(src)?;
-                }
-            }
-            let key_cols: Vec<&[i64]> = self
-                .right_keys
-                .iter()
-                .map(|&k| columns[k].as_i64())
-                .collect::<std::result::Result<_, _>>()?;
-            let index = JoinIndex::build(&key_cols, self.parallel.as_ref())?;
-            if let Some(m) = &self.metrics {
-                let rows = columns.first().map_or(0, |c| c.len());
-                m.annotate("build_rows", rows.to_string());
-                m.annotate(
-                    "build",
-                    match index.partition_count() {
-                        1 => "single".to_string(),
-                        n => format!("partitioned({n})"),
-                    },
-                );
-            }
-            // Hash-table memory: materialized payload + the index's flat
-            // arrays (buckets, chains, packed keys, partition row ids).
-            let payload: u64 =
-                columns.iter().map(|c| (c.len() as f64 * c.avg_width()) as u64).sum();
-            let mem = self.tracker.register(payload + index.estimated_bytes());
-            self.build = Some(BuildSide { columns, index, _mem: mem });
+    /// Attach the memory broker and the spill I/O meter
+    /// (planner-installed). Under an active broker an over-budget build
+    /// side spills — results stay byte-identical.
+    pub fn with_broker(mut self, broker: MemoryBroker, io: IoTracker) -> HashJoin {
+        self.broker = broker;
+        self.spill_io = io;
+        self
+    }
+
+    fn build_side(&mut self) -> Result<()> {
+        if self.build.is_some() {
+            return Ok(());
         }
-        Ok(self.build.as_ref().expect("just built"))
+        let mut right = self.right.take().expect("build side consumed once");
+        let mut columns: Vec<Column> =
+            self.right_types.iter().map(|&dt| Column::empty(dt)).collect();
+        // Under an active broker the accumulating payload is registered as
+        // it drains so pressure is visible; the moment a pending batch
+        // would push tracked memory past the high-water mark, the build
+        // switches to the partitioned spill drain (`join_spill`). An
+        // inactive broker never fires and this loop is the unchanged
+        // in-memory drain.
+        let mut drain_mem = self.broker.is_active().then(|| self.tracker.register(0));
+        let mut pending = None;
+        while let Some(batch) = right.next()? {
+            let bytes = spill::est_cols(&batch.columns);
+            if self.broker.should_spill(bytes) {
+                pending = Some(batch);
+                break;
+            }
+            for (dst, src) in columns.iter_mut().zip(&batch.columns) {
+                dst.append(src)?;
+            }
+            if let Some(g) = &mut drain_mem {
+                g.resize(spill::est_cols(&columns));
+            }
+        }
+        if let Some(first) = pending {
+            let guard = drain_mem.take().expect("spill fires only under an active broker");
+            let spilled = self.build_spilled(right, columns, guard, first)?;
+            self.build = Some(Build::Spilled(spilled));
+            return Ok(());
+        }
+        drop(drain_mem);
+        let key_cols: Vec<&[i64]> = self
+            .right_keys
+            .iter()
+            .map(|&k| columns[k].as_i64())
+            .collect::<std::result::Result<_, _>>()?;
+        let index = JoinIndex::build(&key_cols, self.parallel.as_ref())?;
+        if let Some(m) = &self.metrics {
+            let rows = columns.first().map_or(0, |c| c.len());
+            m.annotate("build_rows", rows.to_string());
+            m.annotate(
+                "build",
+                match index.partition_count() {
+                    1 => "single".to_string(),
+                    n => format!("partitioned({n})"),
+                },
+            );
+        }
+        // Hash-table memory: materialized payload + the index's flat
+        // arrays (buckets, chains, packed keys, partition row ids).
+        let payload: u64 = spill::est_cols(&columns);
+        let mem = self.tracker.register(payload + index.estimated_bytes());
+        self.build = Some(Build::Mem(BuildSide { columns, index, _mem: mem }));
+        Ok(())
     }
 }
 
@@ -209,10 +260,16 @@ impl HashJoin {
     /// probe — enough work for the fan-out while keeping probe-side
     /// buffering O(threads × morsel).
     fn fill_round(&mut self) -> Result<Vec<Batch>> {
-        let target = match &self.parallel {
+        let mut target = match &self.parallel {
             Some(cfg) if cfg.threads > 1 => cfg.threads * cfg.morsel_rows,
             _ => 0,
         };
+        if matches!(self.build, Some(Build::Spilled(_))) {
+            // A spilled build restores every file leaf once per round:
+            // bigger rounds amortize the restores while probe-side
+            // buffering stays bounded.
+            target = target.max(8192);
+        }
         let mut round = Vec::new();
         let mut rows = 0usize;
         while let Some(b) = self.left.next()? {
@@ -233,7 +290,10 @@ impl HashJoin {
     /// batch's output is byte-identical to the serial probe's.
     fn probe_round(&self, round: &[Batch]) -> Result<Vec<Batch>> {
         self.governor.check("probe-round")?;
-        let build = self.build.as_ref().expect("built");
+        let build = match self.build.as_ref().expect("built") {
+            Build::Mem(b) => b,
+            Build::Spilled(s) => return self.probe_round_spilled(s, round),
+        };
         let total: usize = round.iter().map(|b| b.rows()).sum();
         let fan_out = match &self.parallel {
             Some(cfg) if cfg.worth_splitting(total) => Some(cfg),
@@ -744,6 +804,133 @@ mod tests {
                 assert_eq!(serial, parallel, "{jt:?} residual={residual}");
             }
         }
+    }
+
+    #[test]
+    fn spilled_build_is_byte_identical_for_every_flavor() {
+        use crate::broker::SpillMode;
+        use bdcc_storage::live_spill_files;
+        // Build side big enough to scatter across many partitions; left
+        // side chunked so multiple probe rounds hit the restored leaves.
+        let left: Vec<(i64, i64)> = (0..400).map(|i| (i % 37, i)).collect();
+        let right: Vec<(i64, i64)> = (0..300).map(|i| (i % 53, 1000 + i)).collect();
+        let base = live_spill_files();
+        for jt in [JoinType::Inner, JoinType::LeftOuter, JoinType::Semi, JoinType::Anti] {
+            for residual in [false, true] {
+                let res =
+                    residual.then(|| Expr::col("lv").ge(Expr::col("rv").sub(Expr::lit(1150))));
+                let serial = collect(Box::new(
+                    HashJoin::new(
+                        Box::new(Chunked::new(&left, ("lk", "lv"), 13)),
+                        Box::new(Chunked::new(&right, ("rk", "rv"), 7)),
+                        &[("lk", "rk")],
+                        jt,
+                        res.clone(),
+                        MemoryTracker::new(),
+                    )
+                    .unwrap(),
+                ))
+                .unwrap();
+                // Force: everything freezes. Tiny auto budget: freeze +
+                // recursive split on restore (4 KB budget → 2 KB leaves).
+                let brokers: Vec<(&str, SpillMode, Option<u64>)> = vec![
+                    ("force", SpillMode::Force, None),
+                    ("tiny-auto", SpillMode::Auto, Some(4096)),
+                ];
+                for (name, mode, budget) in brokers {
+                    let tracker = MemoryTracker::new();
+                    let io = IoTracker::new();
+                    let spilled = collect(Box::new(
+                        HashJoin::new(
+                            Box::new(Chunked::new(&left, ("lk", "lv"), 13)),
+                            Box::new(Chunked::new(&right, ("rk", "rv"), 7)),
+                            &[("lk", "rk")],
+                            jt,
+                            res.clone(),
+                            Arc::clone(&tracker),
+                        )
+                        .unwrap()
+                        .with_broker(MemoryBroker::with_mode(mode, &tracker, budget), io.clone()),
+                    ))
+                    .unwrap();
+                    assert_eq!(serial, spilled, "{jt:?} residual={residual} {name}");
+                    assert_eq!(
+                        live_spill_files(),
+                        base,
+                        "{jt:?} residual={residual} {name}: temp files must unlink"
+                    );
+                    assert_eq!(tracker.current(), 0, "{name}: memory must release");
+                    assert!(
+                        io.stats().bytes_read > 0,
+                        "{jt:?} {name}: spill traffic must be metered"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_build_under_parallel_probe_matches() {
+        use crate::broker::SpillMode;
+        // Broker + parallel config: the spilled probe path is serial but
+        // must still be byte-identical to the parallel in-memory one.
+        let left: Vec<(i64, i64)> = (0..200).map(|i| (i % 23, i)).collect();
+        let right: Vec<(i64, i64)> = (0..60).map(|i| (i % 31, 1000 + i)).collect();
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 8, agg_radix: None };
+        let serial = collect(Box::new(
+            HashJoin::new(
+                Box::new(Chunked::new(&left, ("lk", "lv"), 13)),
+                Box::new(Chunked::new(&right, ("rk", "rv"), 7)),
+                &[("lk", "rk")],
+                JoinType::Inner,
+                None,
+                MemoryTracker::new(),
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+        let tracker = MemoryTracker::new();
+        let spilled = collect(Box::new(
+            HashJoin::new(
+                Box::new(Chunked::new(&left, ("lk", "lv"), 13)),
+                Box::new(Chunked::new(&right, ("rk", "rv"), 7)),
+                &[("lk", "rk")],
+                JoinType::Inner,
+                None,
+                Arc::clone(&tracker),
+            )
+            .unwrap()
+            .with_parallel(Some(cfg))
+            .with_broker(
+                MemoryBroker::with_mode(SpillMode::Force, &tracker, None),
+                IoTracker::new(),
+            ),
+        ))
+        .unwrap();
+        assert_eq!(serial, spilled);
+    }
+
+    #[test]
+    fn roomy_auto_budget_never_spills() {
+        use crate::broker::SpillMode;
+        use bdcc_storage::live_spill_files;
+        let tracker = MemoryTracker::new();
+        let io = IoTracker::new();
+        let base = live_spill_files();
+        let j = HashJoin::new(
+            Box::new(orders()),
+            Box::new(customers()),
+            &[("o_custkey", "c_custkey")],
+            JoinType::Inner,
+            None,
+            Arc::clone(&tracker),
+        )
+        .unwrap()
+        .with_broker(MemoryBroker::with_mode(SpillMode::Auto, &tracker, Some(1 << 30)), io.clone());
+        let out = collect(Box::new(j)).unwrap();
+        assert_eq!(out.rows(), 3);
+        assert_eq!(live_spill_files(), base);
+        assert_eq!(io.stats().bytes_read, 0, "no spill traffic under a roomy budget");
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub mod morsel;
 pub mod partition;
 pub mod pool;
 pub mod sort;
+mod spill;
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -101,6 +102,7 @@ use bdcc_obs::{OpMetrics, SpanTimer};
 use bdcc_storage::{Column, IoTracker};
 
 use crate::batch::{Batch, OpSchema};
+use crate::broker::MemoryBroker;
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::govern::Governor;
@@ -460,6 +462,11 @@ pub struct ParallelAggregate {
     metrics: Option<Arc<OpMetrics>>,
     /// Per-query limits, polled once per fan-out task. Inert by default.
     governor: Governor,
+    /// Pressure oracle for out-of-core execution: when active, the radix
+    /// path runs its broker-governed variant ([`spill`]) that freezes
+    /// partitions to temp files under pressure. Inert by default, which
+    /// keeps the in-memory paths structurally unchanged.
+    broker: MemoryBroker,
 }
 
 /// One morsel's radix-partitioned input: per partition, the gathered
@@ -547,6 +554,7 @@ impl ParallelAggregate {
             done: false,
             metrics: None,
             governor: Governor::none(),
+            broker: MemoryBroker::none(),
         })
     }
 
@@ -559,6 +567,14 @@ impl ParallelAggregate {
     /// Attach the query's governor (planner-installed).
     pub fn with_governor(mut self, governor: Governor) -> ParallelAggregate {
         self.governor = governor;
+        self
+    }
+
+    /// Attach the query's memory broker (planner-installed); an active
+    /// broker routes fine-grained aggregations through the spill-capable
+    /// radix variant.
+    pub fn with_broker(mut self, broker: MemoryBroker) -> ParallelAggregate {
+        self.broker = broker;
         self
     }
 
@@ -647,6 +663,17 @@ impl ParallelAggregate {
         if let Some(force) = self.cfg.agg_radix {
             decided_by("pinned");
             return Ok(Probe::decided(force));
+        }
+        // An active broker prefers radix outright: only the radix path
+        // can freeze state to temp files, while a partial-merge fold of
+        // fine-grained groups has nothing sheddable and would ride
+        // straight into BudgetExceeded. The per-query cost of routing a
+        // coarse group-by through radix is the partitioned input copy —
+        // which the broker can spill — so under a budget the spillable
+        // shape wins (the `BDCC_AGG_RADIX` pin above still overrides).
+        if self.broker.is_active() {
+            decided_by("broker");
+            return Ok(Probe::decided(true));
         }
         // Radix trades a partitioned copy of the input for
         // exactly-one-table-per-group state; with only a handful of
@@ -781,6 +808,12 @@ impl Operator for ParallelAggregate {
         // tail, never under-reports).
         let _cache_mem = probe.cache_mem.take();
         if probe.radix {
+            // The broker-governed variant freezes/restores partitions
+            // under pressure; without a broker the in-memory path runs
+            // untouched.
+            if self.broker.is_active() {
+                return Ok(Some(self.run_radix_spill(&morsels, probe.cached)?));
+            }
             return Ok(Some(self.run_radix(&morsels, probe.cached)?));
         }
         // Partial-merge fan-out; morsels the probe already scanned are

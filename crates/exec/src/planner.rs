@@ -28,6 +28,7 @@ use bdcc_core::BdccTable;
 use bdcc_pool::{CancelToken, FaultInjector};
 use bdcc_storage::IoTracker;
 
+use crate::broker::{MemoryBroker, SpillMode};
 use crate::error::{ExecError, Result};
 use crate::expr::Expr;
 use crate::govern::{GovernedOp, Governor};
@@ -72,13 +73,20 @@ pub struct QueryContext {
     /// `with_fault_injector` builder methods — the serving layer's hook
     /// into execution.
     pub governor: Governor,
+    /// Pressure oracle for spill-capable operators (hash-join build,
+    /// radix aggregation): active once a memory budget is set (mode
+    /// `auto`) or under `BDCC_SPILL=force`; inert otherwise, leaving
+    /// operators on their pure in-memory paths (see [`crate::broker`]).
+    pub broker: MemoryBroker,
 }
 
 impl QueryContext {
     pub fn new(sdb: Arc<SchemeDb>) -> QueryContext {
+        let tracker = MemoryTracker::new();
         QueryContext {
             sdb,
-            tracker: MemoryTracker::new(),
+            broker: MemoryBroker::from_env(&tracker, None),
+            tracker,
             io: IoTracker::new(),
             parallel: None,
             profiler: Profiler::from_env(),
@@ -97,9 +105,11 @@ impl QueryContext {
         if parallel.threads > 1 {
             crate::parallel::pool::WorkerPool::shared().ensure_workers(parallel.threads);
         }
+        let tracker = MemoryTracker::new();
         QueryContext {
             sdb,
-            tracker: MemoryTracker::new(),
+            broker: MemoryBroker::from_env(&tracker, None),
+            tracker,
             io: IoTracker::new(),
             parallel: Some(parallel),
             profiler: Profiler::from_env(),
@@ -146,6 +156,38 @@ impl QueryContext {
     pub fn with_memory_budget(mut self, bytes: u64) -> QueryContext {
         let tracker = Arc::clone(&self.tracker);
         self.governor.set_budget(bytes, &tracker);
+        // A budget activates the broker (unless BDCC_SPILL=off): join
+        // builds and radix aggregations now spill under pressure and
+        // BudgetExceeded is reserved for queries spilling cannot save.
+        self.broker = MemoryBroker::from_env(&self.tracker, Some(bytes));
+        self.clamp_morsels_to_budget();
+        self
+    }
+
+    /// Shrink parallel morsels so the streaming scan's fixed buffer
+    /// floor (≈ `threads × stream-cap × morsel bytes`, which cannot
+    /// spill) scales with the budget instead of dwarfing it. Morsel
+    /// size never changes results, only granularity.
+    fn clamp_morsels_to_budget(&mut self) {
+        let (Some(cfg), Some(budget)) = (&mut self.parallel, self.governor.budget()) else {
+            return;
+        };
+        if !self.broker.is_active() {
+            return;
+        }
+        // ~64 B/row estimate, 2-deep stream buffers per thread; keep at
+        // least 256-row morsels so fan-out overhead stays sane.
+        let cap = (budget / (cfg.threads as u64 * 2 * 64)).max(256) as usize;
+        cfg.morsel_rows = cfg.morsel_rows.min(cap);
+    }
+
+    /// Pin this query's spill mode explicitly, overriding `BDCC_SPILL`
+    /// (tests; also lets a caller force out-of-core execution for a
+    /// single query). Call after `with_memory_budget` — the broker's
+    /// `auto` thresholds derive from the budget in force at this point.
+    pub fn with_spill(mut self, mode: SpillMode) -> QueryContext {
+        self.broker = MemoryBroker::with_mode(mode, &self.tracker, self.governor.budget());
+        self.clamp_morsels_to_budget();
         self
     }
 
@@ -875,7 +917,8 @@ impl<'a> Planner<'a> {
             HashJoin::new(lop, rop, &on_refs, join_type, residual.clone(), self.op_tracker(&prof))?
                 .with_parallel(self.ctx.parallel.clone())
                 .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)))
-                .with_governor(self.ctx.governor.clone());
+                .with_governor(self.ctx.governor.clone())
+                .with_broker(self.ctx.broker.clone(), self.ctx.io.clone());
         Ok(PhysOut { op: Box::new(j), gk_cols: lout.gk_cols, prof })
     }
 
@@ -944,9 +987,22 @@ impl<'a> Planner<'a> {
         // density and cross-morsel duplication (`choose_radix`),
         // overridable through `ParallelConfig::agg_radix`
         // (`BDCC_AGG_RADIX`).
-        if let Some(cfg) = self.ctx.parallel.clone() {
+        // Without a parallel config, an active broker still routes leaf
+        // fragments here with a one-thread config: only the radix
+        // aggregate can spill, and a serial HashAggregate would die with
+        // BudgetExceeded where out-of-core execution could finish.
+        let agg_cfg = self.ctx.parallel.clone().or_else(|| {
+            self.ctx.broker.is_active().then(|| {
+                let mut cfg = ParallelConfig::with_threads(1);
+                if let Some(budget) = self.ctx.governor.budget() {
+                    cfg.morsel_rows = cfg.morsel_rows.min((budget / (2 * 64)).max(256) as usize);
+                }
+                cfg
+            })
+        });
+        if let Some(cfg) = agg_cfg {
             if let Some(fragment) = self.leaf_fragment(input)? {
-                if cfg.worth_splitting(fragment.scan.total_rows()) {
+                if self.ctx.parallel.is_none() || cfg.worth_splitting(fragment.scan.total_rows()) {
                     // The fragment fuses scan → filter/project into the
                     // aggregate's workers, so this node is also a leaf:
                     // it gets the scan's I/O attribution.
@@ -965,7 +1021,8 @@ impl<'a> Planner<'a> {
                         self.op_tracker(&prof),
                     )?
                     .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)))
-                    .with_governor(self.ctx.governor.clone());
+                    .with_governor(self.ctx.governor.clone())
+                    .with_broker(self.ctx.broker.clone());
                     return Ok(PhysOut { op: Box::new(op), gk_cols: vec![], prof });
                 }
             }

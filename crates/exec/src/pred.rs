@@ -249,15 +249,15 @@ mod tests {
         use bdcc_storage::DataType;
         let schema = vec![ColMeta::new("d", DataType::Date)];
         let batch = Batch::new(vec![Column::from_dates(vec![
-            parse_date("1994-12-31"),
-            parse_date("1995-01-01"),
-            parse_date("1996-01-01"),
+            parse_date("1994-12-31").unwrap(),
+            parse_date("1995-01-01").unwrap(),
+            parse_date("1996-01-01").unwrap(),
         ])]);
         // [1995-01-01, 1996-01-01) keeps only the middle row.
         let p = ColPredicate::range(
             "d",
-            Datum::Date(parse_date("1995-01-01")),
-            Datum::Date(parse_date("1996-01-01")),
+            Datum::Date(parse_date("1995-01-01").unwrap()),
+            Datum::Date(parse_date("1996-01-01").unwrap()),
         );
         let keep = p.to_expr().bind(&schema).unwrap().eval_bool(&batch).unwrap();
         assert_eq!(keep, vec![false, true, false]);

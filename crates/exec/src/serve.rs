@@ -393,9 +393,11 @@ fn run_ticket(shared: &ServerShared, ticket: Ticket) {
     let m = &shared.metrics;
     let queue_wait = ticket.enqueued.elapsed();
     m.queue_wait_nanos.record(queue_wait.as_nanos() as u64);
+    let tracker = MemoryTracker::child_of(&shared.mem_root);
     let mut ctx = QueryContext {
         sdb: Arc::clone(&shared.sdb),
-        tracker: MemoryTracker::child_of(&shared.mem_root),
+        broker: crate::broker::MemoryBroker::from_env(&tracker, None),
+        tracker,
         io: IoTracker::new(),
         parallel: shared.cfg.parallel.clone(),
         profiler: None,

@@ -44,6 +44,12 @@ pub struct OpMetrics {
     /// Scan blocks the encoded-path kernel eliminated without evaluating a
     /// single row (dictionary miss or constant-block stats).
     pub enc_skipped: Counter,
+    /// Out-of-core activity (spill-capable operators under a memory
+    /// broker): partitions frozen to temp files, bytes written to them,
+    /// and bytes read back during restore.
+    pub spill_partitions: Counter,
+    pub spill_bytes: Counter,
+    pub spill_restore_bytes: Counter,
     /// Latency distribution of this operator's `next` calls.
     pub next_nanos: LogHistogram,
     /// Latency distribution of this operator's pool morsels.
@@ -92,6 +98,11 @@ pub struct ProfileNode {
     /// without row evaluation (dict miss, constant-block stats).
     pub blocks_skipped: u64,
     pub enc_skipped: u64,
+    /// Out-of-core activity: partitions frozen to temp files, bytes
+    /// written, bytes restored.
+    pub spill_partitions: u64,
+    pub spill_bytes: u64,
+    pub spill_restore_bytes: u64,
     /// Peak memory tracked by this operator's (and its descendants')
     /// allocations, bytes.
     pub peak_memory: u64,
@@ -126,6 +137,9 @@ impl ProfileNode {
             occupancy_hwm: m.occupancy_hwm.get(),
             blocks_skipped: m.blocks_skipped.get(),
             enc_skipped: m.enc_skipped.get(),
+            spill_partitions: m.spill_partitions.get(),
+            spill_bytes: m.spill_bytes.get(),
+            spill_restore_bytes: m.spill_restore_bytes.get(),
             peak_memory: 0,
             io_bytes: 0,
             io_random_seeks: 0,
@@ -178,6 +192,14 @@ impl ProfileNode {
                 self.enc_skipped
             ));
         }
+        if self.spill_partitions > 0 {
+            out.push_str(&format!(
+                "  spilled={} parts ({} out, {} back)",
+                self.spill_partitions,
+                human_bytes(self.spill_bytes),
+                human_bytes(self.spill_restore_bytes)
+            ));
+        }
         if self.peak_memory > 0 {
             out.push_str(&format!("  mem={}", human_bytes(self.peak_memory)));
         }
@@ -225,6 +247,9 @@ impl ProfileNode {
             .u64("stream_hwm", self.occupancy_hwm)
             .u64("blocks_skipped", self.blocks_skipped)
             .u64("enc_skipped", self.enc_skipped)
+            .u64("spill_partitions", self.spill_partitions)
+            .u64("spill_bytes", self.spill_bytes)
+            .u64("spill_restore_bytes", self.spill_restore_bytes)
             .u64("peak_memory", self.peak_memory)
             .u64("io_bytes", self.io_bytes)
             .u64("io_sequential", self.io_sequential)

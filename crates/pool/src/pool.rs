@@ -858,14 +858,25 @@ where
                 None => format!("streaming worker panicked: {msg}"),
             })))
         });
+        let r = {
+            let mut st = self.shared.state.lock().expect("stream state poisoned");
+            if !st.cancelled {
+                if r.is_err() {
+                    st.failed = true;
+                }
+                st.buffer.insert(index, r);
+                None
+            } else {
+                Some(r)
+            }
+        };
+        // A result produced after cancellation must drop *before* this
+        // body retires: Drop waits on `running == 0` as its "no task code
+        // executing, every tracked byte released" guarantee, and a
+        // descheduled worker still holding the result would break it.
+        drop(r);
         let mut st = self.shared.state.lock().expect("stream state poisoned");
         st.running -= 1;
-        if !st.cancelled {
-            if r.is_err() {
-                st.failed = true;
-            }
-            st.buffer.insert(index, r);
-        }
         self.gate.release();
         self.shared.cond.notify_all();
     }
@@ -1281,6 +1292,41 @@ mod tests {
         // No task body is running after drop returns, and none start later.
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(ran.load(Ordering::SeqCst), after_drop, "tasks ran after cancellation");
+    }
+
+    #[test]
+    fn stream_drop_releases_every_result_before_returning() {
+        // Regression: a worker whose result landed after cancellation
+        // used to retire from `running` *before* dropping it, so
+        // OrderedStream::drop could return while a descheduled worker
+        // still held the payload — and anything its destructor releases
+        // (tracked memory, spill files) leaked past the drop.
+        struct Payload {
+            freed: Arc<AtomicUsize>,
+        }
+        impl Drop for Payload {
+            fn drop(&mut self) {
+                self.freed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        for round in 0..30 {
+            let made = Arc::new(AtomicUsize::new(0));
+            let freed = Arc::new(AtomicUsize::new(0));
+            let (m, f) = (Arc::clone(&made), Arc::clone(&freed));
+            let mut s: OrderedStream<Payload, TestErr> =
+                OrderedStream::spawn(4, 64, 8, move |_| {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    m.fetch_add(1, Ordering::SeqCst);
+                    Ok(Payload { freed: Arc::clone(&f) })
+                });
+            drop(s.recv().unwrap().expect("first result"));
+            drop(s);
+            assert_eq!(
+                made.load(Ordering::SeqCst),
+                freed.load(Ordering::SeqCst),
+                "round {round}: every produced payload must drop before the stream's Drop returns"
+            );
+        }
     }
 
     #[test]

@@ -161,6 +161,20 @@ impl PackedInts {
     pub fn byte_size(&self) -> usize {
         (self.len * self.width as usize).div_ceil(8)
     }
+
+    /// The packed `u64` words, for serialization (the spill file format
+    /// writes these verbatim and rebuilds with [`PackedInts::from_parts`]).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from serialized parts. `words` must be exactly the word
+    /// count [`pack`](Self::pack) would produce for `(len, width)`.
+    pub fn from_parts(width: u8, len: usize, words: Vec<u64>) -> PackedInts {
+        debug_assert!(width < 64);
+        debug_assert_eq!(words.len(), (len * width as usize).div_ceil(64));
+        PackedInts { width, len, words }
+    }
 }
 
 // ---------------------------------------------------------------------------

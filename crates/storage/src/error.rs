@@ -15,6 +15,11 @@ pub enum StorageError {
     TypeMismatch { expected: &'static str, actual: &'static str },
     /// A row index was outside the table's cardinality.
     RowOutOfRange { row: usize, rows: usize },
+    /// A date literal failed to parse as `YYYY-MM-DD` (carries the input).
+    InvalidDate(String),
+    /// An operating-system I/O failure (spill files). Carries the rendered
+    /// `std::io::Error` message — the error type itself is not `Eq`.
+    Io(String),
     /// Catch-all for invalid arguments (empty schema, duplicate names, ...).
     Invalid(String),
 }
@@ -35,6 +40,10 @@ impl fmt::Display for StorageError {
             StorageError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range (table has {rows} rows)")
             }
+            StorageError::InvalidDate(input) => {
+                write!(f, "invalid date literal (expected YYYY-MM-DD): {input:?}")
+            }
+            StorageError::Io(msg) => write!(f, "spill i/o error: {msg}"),
             StorageError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

@@ -124,8 +124,11 @@ impl ColumnState {
     /// Insert `[lo, hi]`, returning the number of newly read bytes.
     fn insert(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo <= hi);
-        // Find overlap window.
-        let start = self.intervals.partition_point(|&(_, ihi)| ihi + 1 < lo);
+        // Find overlap window. `saturating_add` on both bounds: an interval
+        // (or request) ending at `u64::MAX` must not wrap to 0 and be
+        // skipped (or terminate the scan early) — it is adjacent to nothing
+        // above it, which saturation models exactly.
+        let start = self.intervals.partition_point(|&(_, ihi)| ihi.saturating_add(1) < lo);
         let mut new_lo = lo;
         let mut new_hi = hi;
         let mut covered: u64 = 0;
@@ -159,6 +162,10 @@ struct AtomicStats {
 
 #[derive(Debug, Default)]
 struct TrackerInner {
+    /// Per-column interval state, **sorted by column key** so
+    /// [`IoTracker::record_span`] can binary-search under the mutex
+    /// instead of scanning every column (queries over wide schemes and
+    /// spill files can accumulate thousands of keys).
     columns: Vec<(u64, ColumnState)>,
 }
 
@@ -212,11 +219,13 @@ impl IoTracker {
     pub fn record_span(&self, column_key: u64, first_byte: u64, last_byte: u64) -> AccessKind {
         debug_assert!(first_byte <= last_byte);
         let mut inner = self.inner.lock().expect("io tracker poisoned");
-        let idx = match inner.columns.iter().position(|(k, _)| *k == column_key) {
-            Some(i) => i,
-            None => {
-                inner.columns.push((column_key, ColumnState::default()));
-                inner.columns.len() - 1
+        // `columns` stays sorted by key: O(log n) lookup while holding the
+        // mutex, with a sorted insert on first touch of a column.
+        let idx = match inner.columns.binary_search_by_key(&column_key, |(k, _)| *k) {
+            Ok(i) => i,
+            Err(i) => {
+                inner.columns.insert(i, (column_key, ColumnState::default()));
+                i
             }
         };
         let state = &mut inner.columns[idx].1;
@@ -226,8 +235,9 @@ impl IoTracker {
         // read bytes (buffer pool, no physical I/O). Everything else —
         // forward jumps, backward jumps with new bytes, and the first
         // access of a column — seeks.
-        let forward_continuation =
-            state.touched && first_byte <= state.cursor + 1 && last_byte > state.cursor;
+        let forward_continuation = state.touched
+            && first_byte <= state.cursor.saturating_add(1)
+            && last_byte > state.cursor;
         let kind = if forward_continuation || (state.touched && added == 0) {
             AccessKind::Sequential
         } else {
@@ -355,6 +365,52 @@ mod tests {
         assert_eq!(c.insert(0, 50), 21);
         assert_eq!(c.intervals, vec![(0, 50)]);
         assert_eq!(c.insert(20, 30), 0);
+    }
+
+    #[test]
+    fn interval_at_u64_max_does_not_overflow() {
+        // An interval ending at `u64::MAX` used to overflow `ihi + 1` in
+        // the partition-point closure; both bounds now saturate.
+        let mut c = ColumnState::default();
+        assert_eq!(c.insert(u64::MAX - 9, u64::MAX), 10);
+        // Re-reading the tail is free, and the adjacency probe below the
+        // top interval must still find it (no wrap to 0).
+        assert_eq!(c.insert(u64::MAX, u64::MAX), 0);
+        assert_eq!(c.insert(u64::MAX - 19, u64::MAX - 10), 10);
+        assert_eq!(c.intervals, vec![(u64::MAX - 19, u64::MAX)]);
+        // A request ending at `u64::MAX` merges with everything it touches.
+        let mut c = ColumnState::default();
+        c.insert(0, 9);
+        assert_eq!(c.insert(5, u64::MAX), u64::MAX - 9);
+        assert_eq!(c.intervals, vec![(0, u64::MAX)]);
+        // Through the tracker: the whole-address-space span charges once.
+        let t = IoTracker::new();
+        assert_eq!(t.record_span(1, u64::MAX - 1, u64::MAX), AccessKind::Random);
+        assert_eq!(t.record_span(1, u64::MAX - 1, u64::MAX), AccessKind::Sequential);
+        assert_eq!(t.stats().bytes_read, 2);
+    }
+
+    #[test]
+    fn many_columns_stay_sorted_and_deduped() {
+        // Regression for the linear `position` scan: keys arrive in a
+        // scrambled order and the map must stay sorted (the invariant the
+        // O(log n) lookup depends on) while every span still dedupes into
+        // the right column's interval set.
+        let t = IoTracker::new();
+        let n = 4096u64;
+        for i in 0..n {
+            let key = (i * 2654435761) % n; // scrambled arrival order
+            t.record_span(key, 0, 7);
+            t.record_span(key, 0, 7); // re-read: must hit the same state
+        }
+        let inner = t.inner.lock().unwrap();
+        assert_eq!(inner.columns.len(), n as usize);
+        assert!(
+            inner.columns.windows(2).all(|w| w[0].0 < w[1].0),
+            "columns must stay sorted by key for binary search"
+        );
+        drop(inner);
+        assert_eq!(t.stats().bytes_read, n * 8, "each column's bytes charged exactly once");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod encode;
 pub mod error;
 pub mod io;
 pub mod sort;
+pub mod spill;
 pub mod table;
 pub mod value;
 
@@ -53,5 +54,6 @@ pub use encode::{set_encode_enabled, BlockEncoding, ColumnEncoding, PackedInts};
 pub use error::{Result, StorageError};
 pub use io::{AccessKind, DeviceProfile, IoStats, IoTracker, PAGE_SIZE};
 pub use sort::{apply_permutation, sort_permutation, sort_permutation_multi};
+pub use spill::{live_spill_files, SpillHandle, SpillReader, SpillWriter};
 pub use table::{ColumnMeta, StoredTable, TableBuilder, TableSchema};
 pub use value::{date_to_days, days_to_date, format_date, parse_date, year_of, DataType, Datum};

@@ -203,14 +203,28 @@ pub fn format_date(days: i64) -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
-/// Parse `YYYY-MM-DD` into a day count. Panics on malformed input; the only
-/// call sites are literals in query definitions and tests.
-pub fn parse_date(s: &str) -> i64 {
+/// Parse `YYYY-MM-DD` into a day count.
+///
+/// Returns [`StorageError::InvalidDate`] (carrying the input) on anything
+/// malformed: missing parts, non-digits, or a calendar-invalid date like
+/// `1993-02-30` (checked by round-tripping through [`days_to_date`]).
+pub fn parse_date(s: &str) -> crate::error::Result<i64> {
+    let bad = || crate::error::StorageError::InvalidDate(s.to_string());
     let mut parts = s.splitn(3, '-');
-    let y: i64 = parts.next().expect("year").parse().expect("year digits");
-    let m: u32 = parts.next().expect("month").parse().expect("month digits");
-    let d: u32 = parts.next().expect("day").parse().expect("day digits");
-    date_to_days(y, m, d)
+    let mut next = || parts.next().ok_or_else(bad);
+    let y: i64 = next()?.parse().map_err(|_| bad())?;
+    let m: u32 = next()?.parse().map_err(|_| bad())?;
+    let d: u32 = next()?.parse().map_err(|_| bad())?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(bad());
+    }
+    let days = date_to_days(y, m, d);
+    // Out-of-calendar days (Feb 30, Apr 31) normalize under the civil-days
+    // conversion; a round-trip mismatch means the input was not a real date.
+    if days_to_date(days) != (y, m, d) {
+        return Err(bad());
+    }
+    Ok(days)
 }
 
 /// The calendar year of a day count (`EXTRACT(YEAR FROM ...)`).
@@ -253,14 +267,39 @@ mod tests {
     #[test]
     fn parse_and_format_round_trip() {
         for s in ["1992-01-01", "1995-03-15", "1998-12-01"] {
-            assert_eq!(format_date(parse_date(s)), s);
+            assert_eq!(format_date(parse_date(s).unwrap()), s);
         }
     }
 
     #[test]
+    fn malformed_dates_are_typed_errors_not_panics() {
+        for s in [
+            "",
+            "1995",
+            "1995-03",
+            "1995-3-",
+            "not-a-date",
+            "1995-03-15x",
+            "1995-13-01", // month out of range
+            "1995-00-10",
+            "1995-02-30", // not a real calendar day
+            "1995-04-31",
+            "1995-06-00",
+        ] {
+            match parse_date(s) {
+                Err(crate::error::StorageError::InvalidDate(got)) => assert_eq!(got, s),
+                other => panic!("{s:?}: expected InvalidDate, got {other:?}"),
+            }
+        }
+        // Leap-day handling stays exact: valid in 1996, invalid in 1995.
+        assert!(parse_date("1996-02-29").is_ok());
+        assert!(parse_date("1995-02-29").is_err());
+    }
+
+    #[test]
     fn year_extraction() {
-        assert_eq!(year_of(parse_date("1995-06-17")), 1995);
-        assert_eq!(year_of(parse_date("1992-01-01")), 1992);
+        assert_eq!(year_of(parse_date("1995-06-17").unwrap()), 1995);
+        assert_eq!(year_of(parse_date("1992-01-01").unwrap()), 1992);
     }
 
     #[test]
@@ -272,7 +311,8 @@ mod tests {
         );
         assert_eq!(Datum::Float(1.5).total_cmp(&Datum::Int(1)), Ordering::Greater);
         assert_eq!(
-            Datum::Date(parse_date("1995-01-01")).total_cmp(&Datum::Date(parse_date("1994-01-01"))),
+            Datum::Date(parse_date("1995-01-01").unwrap())
+                .total_cmp(&Datum::Date(parse_date("1994-01-01").unwrap())),
             Ordering::Greater
         );
     }
@@ -291,6 +331,6 @@ mod tests {
     fn display_formats() {
         assert_eq!(Datum::Int(42).to_string(), "42");
         assert_eq!(Datum::Float(1.0).to_string(), "1.00");
-        assert_eq!(Datum::Date(parse_date("1996-05-02")).to_string(), "1996-05-02");
+        assert_eq!(Datum::Date(parse_date("1996-05-02").unwrap()).to_string(), "1996-05-02");
     }
 }

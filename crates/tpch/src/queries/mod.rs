@@ -98,9 +98,12 @@ pub fn all_queries() -> Vec<Query> {
 
 // --- shared helpers --------------------------------------------------------
 
-/// Date literal.
+/// Date literal. The query definitions feed this compile-time-constant
+/// strings, so a parse failure here is a programming error in a query —
+/// the typed [`bdcc_storage::StorageError::InvalidDate`] from `parse_date`
+/// surfaces in the panic message rather than a bare `expect`.
 pub(crate) fn date(s: &str) -> Datum {
-    Datum::Date(parse_date(s))
+    Datum::Date(parse_date(s).unwrap_or_else(|e| panic!("bad query date literal: {e}")))
 }
 
 /// `l_extendedprice * (1 - l_discount)` — the ubiquitous revenue term.
