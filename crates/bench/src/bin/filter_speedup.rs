@@ -1,0 +1,212 @@
+//! E-FILTER — selection-vector expression engine throughput: the fused
+//! predicate kernels ([`bdcc_exec::FilterProgram`] / [`bdcc_exec::PairFilter`])
+//! against the row-at-a-time interpreter, on two residual workloads:
+//!
+//! * `scan_q6` — a Q6-style multi-conjunct scan residual over LINEITEM
+//!   (`l_shipdate` range ∧ `l_discount` between ∧ `l_quantity` <). The
+//!   database is generated with block encoding disabled so the PR 7
+//!   compression-aware block kernels sit out and the expression engine is
+//!   what gets measured.
+//! * `join_residual` — a LINEITEM ⋈ ORDERS inner join with a residual
+//!   touching four columns while the join output carries eighteen (several
+//!   of them strings): the kernel path gathers only the referenced columns
+//!   for candidate pairs and late-materializes the wide output for
+//!   survivors.
+//!
+//! Both workloads first assert the kernel and interpreter outputs are
+//! byte-identical, then time each side. Scale factor from `BDCC_SF`
+//! (default 0.02). Prints a table and, last, one JSON line
+//! (`{"bench":"filter",...}`) recorded as `BENCH_filter.json` so the
+//! filter perf trajectory is machine-readable across PRs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bdcc_bench::{generate_db, print_table, r3, scale_factor, BenchReport};
+use bdcc_exec::ops::join::HashJoin;
+use bdcc_exec::ops::scan::PlainScan;
+use bdcc_exec::ops::{collect, BoxedOp};
+use bdcc_exec::{Batch, ColPredicate, Expr, JoinType, MemoryTracker};
+use bdcc_obs::json::Obj;
+use bdcc_storage::{date_to_days, set_encode_enabled, Datum, IoTracker, StoredTable};
+
+fn timed<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    f(); // warm up
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Q6-style predicate set: one date range, one float between, one float
+/// upper bound — three sargable conjuncts of different selectivities, the
+/// shape the adaptive reorderer exists for.
+fn q6_predicates() -> Vec<ColPredicate> {
+    vec![
+        ColPredicate::ge("l_shipdate", Datum::Date(date_to_days(1994, 1, 1))),
+        ColPredicate::lt("l_shipdate", Datum::Date(date_to_days(1995, 1, 1))),
+        ColPredicate::between("l_discount", 0.05, 0.07),
+        ColPredicate::lt("l_quantity", 24.0),
+    ]
+}
+
+fn run_scan(li: &Arc<StoredTable>, kernel: bool) -> Batch {
+    let scan = PlainScan::new(
+        Arc::clone(li),
+        IoTracker::new(),
+        &["l_orderkey", "l_extendedprice", "l_discount", "l_quantity", "l_shipdate"],
+        q6_predicates(),
+    )
+    .unwrap()
+    .with_filter_kernel(kernel);
+    collect(Box::new(scan) as BoxedOp).unwrap()
+}
+
+/// Join residual referencing `l_shipdate`/`o_orderdate` (pair-dependent),
+/// `l_discount` and `l_quantity` — four columns out of the eighteen the
+/// join output carries, keeping roughly one pair in six.
+fn join_residual() -> Expr {
+    Expr::col("l_shipdate")
+        .gt(Expr::col("o_orderdate"))
+        .and(Expr::col("l_discount").ge(Expr::lit(0.06)))
+        .and(Expr::col("l_quantity").lt(Expr::lit(20.0)))
+}
+
+fn run_join(li: &Arc<StoredTable>, ord: &Arc<StoredTable>, kernel: bool) -> Batch {
+    let left: BoxedOp = Box::new(
+        PlainScan::new(
+            Arc::clone(li),
+            IoTracker::new(),
+            &[
+                "l_orderkey",
+                "l_partkey",
+                "l_suppkey",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_shipdate",
+                "l_returnflag",
+                "l_linestatus",
+                "l_shipmode",
+                "l_shipinstruct",
+                "l_comment",
+            ],
+            vec![],
+        )
+        .unwrap(),
+    );
+    let right: BoxedOp = Box::new(
+        PlainScan::new(
+            Arc::clone(ord),
+            IoTracker::new(),
+            &[
+                "o_orderkey",
+                "o_orderdate",
+                "o_totalprice",
+                "o_orderpriority",
+                "o_clerk",
+                "o_comment",
+            ],
+            vec![],
+        )
+        .unwrap(),
+    );
+    let join = HashJoin::new(
+        left,
+        right,
+        &[("l_orderkey", "o_orderkey")],
+        JoinType::Inner,
+        Some(join_residual()),
+        MemoryTracker::new(),
+    )
+    .unwrap()
+    .with_kernel(kernel);
+    collect(Box::new(join) as BoxedOp).unwrap()
+}
+
+fn mrows_per_s(rows: usize, secs: f64) -> f64 {
+    if secs > 0.0 {
+        rows as f64 / secs / 1e6
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let sf = scale_factor();
+    println!("E-FILTER — selection-vector expression engine throughput (SF {sf})");
+    // Disable block encoding so the PR 7 compression-aware scan kernels
+    // don't absorb the predicates the expression engine is being measured
+    // on; restore the env-driven default afterwards.
+    set_encode_enabled(Some(false));
+    let db = generate_db(sf);
+    set_encode_enabled(None);
+    let li = db.stored_by_name("lineitem").expect("lineitem stored").clone();
+    let ord = db.stored_by_name("orders").expect("orders stored").clone();
+    let rows = li.rows();
+    let reps = 5;
+
+    let mut table_rows = Vec::new();
+    let mut report = BenchReport::new("filter").f64("sf", sf).usize("lineitem_rows", rows);
+    let mut record = |workload: &str, interp_s: f64, kernel_s: f64, out_rows: usize| {
+        table_rows.push(vec![
+            workload.to_string(),
+            format!("{:.2}", interp_s * 1000.0),
+            format!("{:.2}", kernel_s * 1000.0),
+            format!("{:.2}", mrows_per_s(rows, interp_s)),
+            format!("{:.2}", mrows_per_s(rows, kernel_s)),
+            format!("{:.2}x", interp_s / kernel_s),
+            out_rows.to_string(),
+        ]);
+        report.result(
+            Obj::new()
+                .str("workload", workload)
+                .f64("interp_ms", r3(interp_s * 1000.0))
+                .f64("kernel_ms", r3(kernel_s * 1000.0))
+                .f64("mrows_per_s_interp", r3(mrows_per_s(rows, interp_s)))
+                .f64("mrows_per_s_kernel", r3(mrows_per_s(rows, kernel_s)))
+                .f64("speedup", r3(interp_s / kernel_s))
+                .usize("out_rows", out_rows),
+        );
+    };
+
+    // Q6-style multi-conjunct scan residual.
+    let base = run_scan(&li, false);
+    let with_kernel = run_scan(&li, true);
+    assert_eq!(
+        format!("{:?}", base),
+        format!("{:?}", with_kernel),
+        "scan residual must be byte-identical with kernels on and off"
+    );
+    let interp_s = timed(reps, || run_scan(&li, false));
+    let kernel_s = timed(reps, || run_scan(&li, true));
+    record("scan_q6", interp_s, kernel_s, base.rows());
+
+    // Wide-output join with a narrow residual.
+    let base = run_join(&li, &ord, false);
+    let with_kernel = run_join(&li, &ord, true);
+    assert_eq!(
+        format!("{:?}", base),
+        format!("{:?}", with_kernel),
+        "join residual must be byte-identical with kernels on and off"
+    );
+    let interp_s = timed(reps, || run_join(&li, &ord, false));
+    let kernel_s = timed(reps, || run_join(&li, &ord, true));
+    record("join_residual", interp_s, kernel_s, base.rows());
+
+    let _ = record; // end the closure's borrow of the report
+    print_table(
+        &[
+            "workload",
+            "interp ms",
+            "kernel ms",
+            "Mrows/s interp",
+            "Mrows/s kernel",
+            "speedup",
+            "out rows",
+        ],
+        &table_rows,
+    );
+    report.print();
+}

@@ -63,6 +63,13 @@ impl Batch {
         Batch { columns: self.columns.iter().map(|c| c.gather(indices)).collect() }
     }
 
+    /// Gather rows by `u32` index — the selection-vector entry point
+    /// ([`crate::kernel::SelVec::take`] uses this for partial selections;
+    /// an all-rows selection returns the batch without copying).
+    pub fn gather_u32(&self, indices: &[u32]) -> Batch {
+        Batch { columns: self.columns.iter().map(|c| c.gather_u32(indices)).collect() }
+    }
+
     /// One row as datums (diagnostics/tests).
     pub fn row(&self, r: usize) -> Vec<Datum> {
         self.columns.iter().map(|c| c.datum(r)).collect()

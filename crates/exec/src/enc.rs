@@ -67,7 +67,7 @@ enum PredTest {
     Str(StrTest),
 }
 
-enum IntTest {
+pub(crate) enum IntTest {
     Eq(i64),
     Ne(i64),
     /// Normalized inclusive bounds; `lo > hi` matches nothing.
@@ -79,7 +79,7 @@ enum IntTest {
     In(Vec<i64>),
 }
 
-enum StrTest {
+pub(crate) enum StrTest {
     Eq(String),
     Ne(String),
     Range {
@@ -92,7 +92,7 @@ enum StrTest {
     NotLike(LikePattern),
 }
 
-fn int_test(t: &IntTest, v: i64) -> bool {
+pub(crate) fn int_test(t: &IntTest, v: i64) -> bool {
     match t {
         IntTest::Eq(c) => v == *c,
         IntTest::Ne(c) => v != *c,
@@ -101,7 +101,7 @@ fn int_test(t: &IntTest, v: i64) -> bool {
     }
 }
 
-fn str_test(t: &StrTest, s: &str) -> bool {
+pub(crate) fn str_test(t: &StrTest, s: &str) -> bool {
     match t {
         StrTest::Eq(c) => s == c,
         StrTest::Ne(c) => s != c,
@@ -132,7 +132,7 @@ fn int_const(d: &Datum) -> Option<i64> {
     }
 }
 
-fn compile_int(kind: &PredKind) -> Option<IntTest> {
+pub(crate) fn compile_int(kind: &PredKind) -> Option<IntTest> {
     Some(match kind {
         PredKind::Eq(d) => IntTest::Eq(int_const(d)?),
         PredKind::Ne(d) => IntTest::Ne(int_const(d)?),
@@ -182,7 +182,7 @@ fn compile_int(kind: &PredKind) -> Option<IntTest> {
     })
 }
 
-fn compile_str(kind: &PredKind) -> Option<StrTest> {
+pub(crate) fn compile_str(kind: &PredKind) -> Option<StrTest> {
     let str_const = |d: &Datum| match d {
         Datum::Str(s) => Some(s.clone()),
         _ => None, // non-string constant vs string column errors in the residual

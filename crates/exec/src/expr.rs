@@ -185,7 +185,17 @@ impl Expr {
             ),
             Expr::Like(a, p) => Expr::Like(Box::new(a.bind(schema)?), p.clone()),
             Expr::NotLike(a, p) => Expr::NotLike(Box::new(a.bind(schema)?), p.clone()),
-            Expr::InList(a, vals) => Expr::InList(Box::new(a.bind(schema)?), vals.clone()),
+            Expr::InList(a, vals) => {
+                // Sort the literal list once at bind time, grouped by
+                // comparison class (integer-backed, float, string) and by
+                // value within each class, so `eval_in_list`'s typed
+                // projections come out pre-sorted and every batch probes
+                // by binary search. No dedup: cross-class "equal"
+                // literals (`Int(1)` vs `Float(1.0)`) must both survive.
+                let mut sorted = vals.clone();
+                sorted.sort_by(in_list_order);
+                Expr::InList(Box::new(a.bind(schema)?), sorted)
+            }
             Expr::Year(a) => Expr::Year(Box::new(a.bind(schema)?)),
             Expr::Prefix(a, n) => Expr::Prefix(Box::new(a.bind(schema)?), *n),
         })
@@ -390,16 +400,47 @@ fn eval_if(cond: &[bool], t: &Column, e: &Column) -> Result<Column> {
     }
 }
 
+/// IN-list literal order: comparison class first (integer-backed values
+/// interleave whatever their `Int`/`Date` tag, since they project onto one
+/// `i64` probe set), value within the class. [`Expr::bind`] sorts by this
+/// key so [`eval_in_list`]'s per-class projections are already sorted.
+fn in_list_order(a: &Datum, b: &Datum) -> std::cmp::Ordering {
+    fn class(d: &Datum) -> u8 {
+        match d {
+            Datum::Int(_) | Datum::Date(_) => 0,
+            Datum::Float(_) => 1,
+            Datum::Str(_) => 2,
+        }
+    }
+    class(a).cmp(&class(b)).then_with(|| match (a, b) {
+        (Datum::Int(x) | Datum::Date(x), Datum::Int(y) | Datum::Date(y)) => x.cmp(y),
+        (Datum::Float(x), Datum::Float(y)) => x.total_cmp(y),
+        (Datum::Str(x), Datum::Str(y)) => x.cmp(y),
+        _ => unreachable!("same class"),
+    })
+}
+
 fn eval_in_list(col: &Column, list: &[Datum]) -> Result<Column> {
+    // The typed probe sets are sorted already when the expression went
+    // through `bind` (the common path); re-sort defensively for directly
+    // constructed lists — membership is order-insensitive either way.
     match col {
         Column::I64 { values, .. } => {
-            let set: Vec<i64> = list.iter().filter_map(|d| d.as_int()).collect();
-            Ok(bools_to_column(&values.iter().map(|v| set.contains(v)).collect::<Vec<_>>()))
+            let mut set: Vec<i64> = list.iter().filter_map(|d| d.as_int()).collect();
+            if !set.windows(2).all(|w| w[0] <= w[1]) {
+                set.sort_unstable();
+            }
+            Ok(bools_to_column(
+                &values.iter().map(|v| set.binary_search(v).is_ok()).collect::<Vec<_>>(),
+            ))
         }
         Column::Str(values) => {
-            let set: Vec<&str> = list.iter().filter_map(|d| d.as_str()).collect();
+            let mut set: Vec<&str> = list.iter().filter_map(|d| d.as_str()).collect();
+            if !set.windows(2).all(|w| w[0] <= w[1]) {
+                set.sort_unstable();
+            }
             Ok(bools_to_column(
-                &values.iter().map(|v| set.contains(&v.as_str())).collect::<Vec<_>>(),
+                &values.iter().map(|v| set.binary_search(&v.as_str()).is_ok()).collect::<Vec<_>>(),
             ))
         }
         Column::F64(_) => Err(ExecError::Type("IN over float columns is not supported".into())),

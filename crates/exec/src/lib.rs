@@ -13,6 +13,7 @@ pub mod error;
 pub mod expr;
 pub mod govern;
 pub mod hash;
+pub mod kernel;
 pub mod memory;
 pub mod ops;
 pub mod parallel;
@@ -35,6 +36,7 @@ pub use error::{ExecError, Result};
 pub use expr::{ArithOp, CmpOp, Expr, LikePattern};
 pub use govern::{GovernedOp, Governor};
 pub use hash::{FxBuildHasher, FxHasher, JoinIndex, JoinTable};
+pub use kernel::{kernel_enabled, set_kernel_enabled, FilterProgram, PairFilter, SelVec};
 pub use memory::{MemoryGuard, MemoryTracker};
 pub use ops::agg::{AggFunc, AggSpec};
 pub use ops::join::{JoinType, MATCHED_COLUMN};

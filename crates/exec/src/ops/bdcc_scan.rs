@@ -22,8 +22,15 @@ use crate::batch::{Batch, ColMeta, OpSchema};
 use crate::enc::{BlockVerdict, ScanKernel};
 use crate::error::Result;
 use crate::expr::Expr;
+use crate::kernel::{kernel_enabled, FilterProgram};
 use crate::ops::Operator;
 use crate::pred::{predicates_to_expr, ColPredicate};
+
+/// Drop the trailing residual-only columns without cloning the kept ones.
+fn truncate_cols(mut b: Batch, n: usize) -> Batch {
+    b.columns.truncate(n);
+    b
+}
 
 /// One selected group in output order: its row range in the stored table
 /// plus the values of the emitted group-key columns.
@@ -51,6 +58,11 @@ pub struct BdccScan {
     predicates: Vec<(usize, ColPredicate)>,
     extra_cols: Vec<usize>,
     residual: Option<Expr>,
+    /// Schema the residual is bound against (projection ++ extras).
+    eval_schema: OpSchema,
+    /// Selection-vector program for the residual (see [`crate::kernel`]);
+    /// `None` keeps the interpreter path.
+    program: Option<FilterProgram>,
     /// Compression-aware predicate kernel; `Some` only when the table is
     /// block-encoded and every predicate is kernel-supported.
     kernel: Option<ScanKernel>,
@@ -99,6 +111,10 @@ impl BdccScan {
             schema.push(ColMeta::new(name.clone(), DataType::Int));
         }
         let kernel = ScanKernel::try_new(&table, &preds);
+        let program = match (&residual, kernel_enabled()) {
+            (Some(e), true) => Some(FilterProgram::compile(e, &eval_schema)),
+            _ => None,
+        };
         Ok(BdccScan {
             table,
             io,
@@ -106,6 +122,8 @@ impl BdccScan {
             predicates: preds,
             extra_cols,
             residual,
+            eval_schema,
+            program,
             kernel,
             metrics: None,
             schema,
@@ -117,6 +135,16 @@ impl BdccScan {
     /// Attach operator metrics (block-skip counters) to this scan.
     pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> BdccScan {
         self.metrics = metrics;
+        self
+    }
+
+    /// Pin the residual's selection-vector kernel on or off, overriding
+    /// the `BDCC_KERNEL` gate consulted at construction.
+    pub fn with_filter_kernel(mut self, on: bool) -> BdccScan {
+        self.program = match (&self.residual, on) {
+            (Some(e), true) => Some(FilterProgram::compile(e, &self.eval_schema)),
+            _ => None,
+        };
         self
     }
 
@@ -286,16 +314,29 @@ impl Operator for BdccScan {
                 self.charge_io(s, e);
             }
             let full = Batch::new(columns);
-            let mut batch = match &self.residual {
-                Some(filter) => {
+            let mut batch = match (&self.residual, &self.program) {
+                (Some(_), Some(program)) => {
+                    let sel = program.select(&full)?;
+                    if sel.is_empty() {
+                        continue;
+                    }
+                    // An all-pass selection moves the assembled columns
+                    // through unchanged; extras drop without cloning.
+                    truncate_cols(sel.take(full), self.projection.len())
+                }
+                (Some(filter), None) => {
                     let keep = filter.eval_bool(&full)?;
                     if !keep.iter().any(|&k| k) {
                         continue;
                     }
-                    let filtered = full.filter(&keep);
-                    Batch::new(filtered.columns[..self.projection.len()].to_vec())
+                    if keep.iter().all(|&k| k) {
+                        // All rows pass: skip the per-column copy.
+                        truncate_cols(full, self.projection.len())
+                    } else {
+                        truncate_cols(full.filter(&keep), self.projection.len())
+                    }
                 }
-                None => Batch::new(full.columns[..self.projection.len()].to_vec()),
+                (None, _) => truncate_cols(full, self.projection.len()),
             };
             if batch.rows() == 0 {
                 continue;
@@ -306,6 +347,9 @@ impl Operator for BdccScan {
                 batch.columns.push(bdcc_storage::Column::from_i64(vec![gk; n]));
             }
             return Ok(Some(batch));
+        }
+        if let (Some(m), Some(p)) = (&self.metrics, &self.program) {
+            p.annotate(m);
         }
         Ok(None)
     }

@@ -29,6 +29,7 @@ use crate::error::{ExecError, Result};
 use crate::expr::Expr;
 use crate::govern::Governor;
 use crate::hash::JoinIndex;
+use crate::kernel::{PairFilter, SelVec};
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
 use crate::parallel::morsel::split_rows;
@@ -70,6 +71,12 @@ pub struct HashJoin {
     right_keys: Vec<usize>,
     /// Residual over (left ++ right) columns, pre-bound.
     residual: Option<Expr>,
+    /// Kernel-compiled residual (see [`crate::kernel`]): evaluates on the
+    /// candidate pair selection, gathering only referenced columns, and
+    /// shrinks the match lists *before* the output gathers. `None` when
+    /// the kernel gate is off or there is no residual — the interpreter
+    /// path is used instead (byte-identical results either way).
+    pair_filter: Option<PairFilter>,
     schema: OpSchema,
     right_arity: usize,
     /// Build-side column types (for spilled-leaf decoding and left-outer
@@ -130,6 +137,10 @@ impl HashJoin {
             Some(e) => Some(e.bind(&combined)?),
             None => None,
         };
+        let pair_filter = match (&residual, crate::kernel::kernel_enabled()) {
+            (Some(e), true) => Some(PairFilter::new(e, &combined)),
+            _ => None,
+        };
         let schema = match join_type {
             JoinType::Inner => combined,
             JoinType::LeftOuter => {
@@ -148,6 +159,7 @@ impl HashJoin {
             left_keys,
             right_keys,
             residual,
+            pair_filter,
             schema,
             right_arity,
             right_types,
@@ -167,6 +179,21 @@ impl HashJoin {
     /// [`ParallelConfig`]; results stay byte-identical).
     pub fn with_parallel(mut self, cfg: Option<ParallelConfig>) -> HashJoin {
         self.parallel = cfg;
+        self
+    }
+
+    /// Force the residual kernel on or off, overriding the `BDCC_KERNEL`
+    /// default picked up by [`HashJoin::new`]. Must be called before the
+    /// build side is consumed (i.e. while still building the operator).
+    pub fn with_kernel(mut self, on: bool) -> HashJoin {
+        self.pair_filter = match (&self.residual, on, &self.right) {
+            (Some(e), true, Some(right)) => {
+                let mut combined = self.left.schema().clone();
+                combined.extend(right.schema().iter().cloned());
+                Some(PairFilter::new(e, &combined))
+            }
+            _ => None,
+        };
         self
     }
 
@@ -309,6 +336,7 @@ impl HashJoin {
                         &self.left_keys,
                         self.join_type,
                         self.residual.as_ref(),
+                        self.pair_filter.as_ref(),
                         0..batch.rows(),
                     )?;
                     finish_batch(batch, build, self.join_type, self.right_arity, &lidx, &ridx)
@@ -339,6 +367,7 @@ impl HashJoin {
         // are not shareable).
         let (left_keys, join_type) = (&self.left_keys, self.join_type);
         let residual = self.residual.as_ref();
+        let pair_filter = self.pair_filter.as_ref();
         let metrics = self.metrics.as_ref();
         let per: Vec<Vec<ProbePiece>> =
             pool::run_tasks_labeled(cfg.threads, tasks.len(), "join-probe", |t| {
@@ -352,6 +381,7 @@ impl HashJoin {
                             left_keys,
                             join_type,
                             residual,
+                            pair_filter,
                             range.clone(),
                         )?;
                         Ok((*bi, lists))
@@ -407,6 +437,9 @@ impl Operator for HashJoin {
             }
             let round = self.fill_round()?;
             if round.is_empty() {
+                if let (Some(pf), Some(m)) = (&self.pair_filter, &self.metrics) {
+                    pf.annotate(m);
+                }
                 return Ok(None);
             }
             let outs = self.probe_round(&round)?;
@@ -442,6 +475,7 @@ fn probe_range(
     left_keys: &[usize],
     join_type: JoinType,
     residual: Option<&Expr>,
+    pair_filter: Option<&PairFilter>,
     range: Range<usize>,
 ) -> Result<(Vec<usize>, Vec<u32>)> {
     let key_cols: Vec<&[i64]> = left_keys
@@ -456,7 +490,23 @@ fn probe_range(
     let mut lidx: Vec<usize> = Vec::new();
     let mut ridx: Vec<u32> = Vec::new();
     build.index.probe_pairs(&key_cols, range, &mut lidx, &mut ridx);
-    if let Some(filter) = residual {
+    if let Some(pf) = pair_filter {
+        // Kernel path: only the residual's referenced columns are
+        // gathered for the candidate pairs, and the match lists shrink
+        // before the output gathers. Survivors keep probe order.
+        let left_arity = left.arity();
+        let sel = pf.select_pairs(lidx.len(), |c| {
+            Ok(if c < left_arity {
+                left.columns[c].gather(&lidx)
+            } else {
+                build.columns[c - left_arity].gather_u32(&ridx)
+            })
+        })?;
+        if let SelVec::Rows(rows) = sel {
+            lidx = rows.iter().map(|&i| lidx[i as usize]).collect();
+            ridx = rows.iter().map(|&i| ridx[i as usize]).collect();
+        }
+    } else if let Some(filter) = residual {
         // Evaluate the residual over the candidate pairs of this morsel
         // only; survivors keep their (ascending) probe order.
         let mut cols: Vec<Column> = left.columns.iter().map(|c| c.gather(&lidx)).collect();
@@ -802,6 +852,43 @@ mod tests {
                 ))
                 .unwrap();
                 assert_eq!(serial, parallel, "{jt:?} residual={residual}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_kernel_matches_interpreter() {
+        // Sargable residual (kernel leaf) and non-sargable residual
+        // (fallback over the pair selection): kernel on vs. off must be
+        // byte-identical for every flavor, serial and parallel.
+        let left: Vec<(i64, i64)> = (0..200).map(|i| (i % 23, i)).collect();
+        let right: Vec<(i64, i64)> = (0..60).map(|i| (i % 31, 1000 + i)).collect();
+        let residuals: Vec<Expr> = vec![
+            Expr::col("rv").ge(Expr::lit(1030)),
+            Expr::col("lv").ge(Expr::col("rv").sub(Expr::lit(1020))),
+        ];
+        let cfg = ParallelConfig { threads: 4, morsel_rows: 8, agg_radix: None };
+        for jt in [JoinType::Inner, JoinType::LeftOuter, JoinType::Semi, JoinType::Anti] {
+            for res in &residuals {
+                for parallel in [None, Some(cfg.clone())] {
+                    let run = |kernel: bool| {
+                        collect(Box::new(
+                            HashJoin::new(
+                                Box::new(Chunked::new(&left, ("lk", "lv"), 13)),
+                                Box::new(Chunked::new(&right, ("rk", "rv"), 7)),
+                                &[("lk", "rk")],
+                                jt,
+                                Some(res.clone()),
+                                MemoryTracker::new(),
+                            )
+                            .unwrap()
+                            .with_kernel(kernel)
+                            .with_parallel(parallel.clone()),
+                        ))
+                        .unwrap()
+                    };
+                    assert_eq!(run(true), run(false), "{jt:?} {res:?}");
+                }
             }
         }
     }

@@ -354,6 +354,7 @@ impl HashJoin {
                     &self.left_keys,
                     self.join_type,
                     self.residual.as_ref(),
+                    self.pair_filter.as_ref(),
                     0..batch.rows(),
                 )?;
                 if lidx.is_empty() {

@@ -26,6 +26,7 @@ use crate::error::{ExecError, Result};
 use crate::expr::Expr;
 use crate::govern::Governor;
 use crate::hash::JoinIndex;
+use crate::kernel::{PairFilter, SelVec};
 use crate::memory::{MemoryGuard, MemoryTracker};
 use crate::ops::{BoxedOp, Operator};
 use crate::parallel::ParallelConfig;
@@ -133,6 +134,10 @@ pub struct SandwichHashJoin {
     left_keys: Vec<usize>,
     right_keys: Vec<usize>,
     residual: Option<Expr>,
+    /// Kernel-compiled residual (see [`crate::kernel`]): shrinks the pair
+    /// match lists before the output gathers, touching only referenced
+    /// columns. `None` when the gate is off or there is no residual.
+    pair_filter: Option<PairFilter>,
     schema: OpSchema,
     /// Right column indices kept in the output (group keys dropped).
     right_kept: Vec<usize>,
@@ -200,12 +205,17 @@ impl SandwichHashJoin {
             Some(e) => Some(e.bind(&schema)?),
             None => None,
         };
+        let pair_filter = match (&residual, crate::kernel::kernel_enabled()) {
+            (Some(e), true) => Some(PairFilter::new(e, &schema)),
+            _ => None,
+        };
         Ok(SandwichHashJoin {
             left: GroupReader::new(left, left_group_cols),
             right: GroupReader::new(right, right_group_cols),
             left_keys,
             right_keys,
             residual,
+            pair_filter,
             schema,
             right_kept,
             tracker,
@@ -232,6 +242,16 @@ impl SandwichHashJoin {
         self
     }
 
+    /// Force the residual kernel on or off, overriding the `BDCC_KERNEL`
+    /// default picked up by [`SandwichHashJoin::new`].
+    pub fn with_kernel(mut self, on: bool) -> SandwichHashJoin {
+        self.pair_filter = match (&self.residual, on) {
+            (Some(e), true) => Some(PairFilter::new(e, &self.schema)),
+            _ => None,
+        };
+        self
+    }
+
     /// Attach the profiling metric block (planner-installed).
     pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> SandwichHashJoin {
         self.metrics = metrics;
@@ -255,6 +275,9 @@ impl SandwichHashJoin {
             m.annotate("groups_left_only", self.groups_left_only.to_string());
             m.annotate("groups_right_only", self.groups_right_only.to_string());
             m.annotate("max_group_build_rows", self.max_group_build_rows.to_string());
+            if let Some(pf) = &self.pair_filter {
+                pf.annotate(m);
+            }
         }
     }
 }
@@ -321,6 +344,7 @@ impl Operator for SandwichHashJoin {
                         &self.right_keys,
                         &self.right_kept,
                         self.residual.as_ref(),
+                        self.pair_filter.as_ref(),
                         self.parallel.as_ref(),
                     )?;
                     self.lgroup = self.left.next_group()?;
@@ -342,6 +366,7 @@ fn join_groups(
     right_keys: &[usize],
     right_kept: &[usize],
     residual: Option<&Expr>,
+    pair_filter: Option<&PairFilter>,
     parallel: Option<&ParallelConfig>,
 ) -> Result<Batch> {
     let rkey_cols: Vec<&[i64]> = right_keys
@@ -357,18 +382,35 @@ fn join_groups(
         .collect::<std::result::Result<_, _>>()?;
     // Same per-group gate on the probe side: only a probe group bigger
     // than a morsel fans out to row-range probe morsels.
-    let (lidx, ridx) = index.probe_pairs_parallel(&lkey_cols, left.rows(), parallel)?;
+    let (mut lidx, mut ridx) = index.probe_pairs_parallel(&lkey_cols, left.rows(), parallel)?;
+    if let Some(pf) = pair_filter {
+        // Kernel path: the residual runs on the pair selection, gathering
+        // only its referenced columns; the match lists shrink before the
+        // full output gathers below.
+        let left_arity = left.arity();
+        let sel = pf.select_pairs(lidx.len(), |c| {
+            Ok(if c < left_arity {
+                left.columns[c].gather(&lidx)
+            } else {
+                right.columns[right_kept[c - left_arity]].gather_u32(&ridx)
+            })
+        })?;
+        if let SelVec::Rows(rows) = sel {
+            lidx = rows.iter().map(|&i| lidx[i as usize]).collect();
+            ridx = rows.iter().map(|&i| ridx[i as usize]).collect();
+        }
+    }
     let mut cols: Vec<Column> = left.columns.iter().map(|c| c.gather(&lidx)).collect();
     for &i in right_kept {
         cols.push(right.columns[i].gather_u32(&ridx));
     }
     let out = Batch::new(cols);
     match residual {
-        None => Ok(out),
-        Some(f) => {
+        Some(f) if pair_filter.is_none() => {
             let keep = f.eval_bool(&out)?;
             Ok(out.filter(&keep))
         }
+        _ => Ok(out),
     }
 }
 
@@ -536,6 +578,38 @@ mod tests {
         .unwrap();
         let out = collect(Box::new(j)).unwrap();
         assert_eq!(out.columns[0].as_i64().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn residual_kernel_matches_interpreter() {
+        // Sargable and non-sargable residuals, kernel on vs. off.
+        let rows_l: Vec<(i64, i64, i64)> = (0..120).map(|i| (1000 + i, i % 17, i / 12)).collect();
+        let rows_r: Vec<(i64, i64, i64)> = (0..90).map(|i| (i % 17, 2000 + i, i / 9)).collect();
+        let residuals: Vec<Expr> = vec![
+            Expr::col("rv").ge(Expr::lit(2030)),
+            Expr::col("lk").ge(Expr::col("rv").sub(Expr::lit(1020))),
+        ];
+        for res in &residuals {
+            let run = |kernel: bool| {
+                let left = Source::grouped(("lk", "lc", "g"), rows_l.clone(), 7);
+                let right = Source::grouped(("rc", "rv", "g"), rows_r.clone(), 7);
+                collect(Box::new(
+                    SandwichHashJoin::new(
+                        Box::new(left),
+                        Box::new(right),
+                        &[("lc", "rc")],
+                        vec![2],
+                        vec![2],
+                        Some(res.clone()),
+                        MemoryTracker::new(),
+                    )
+                    .unwrap()
+                    .with_kernel(kernel),
+                ))
+                .unwrap()
+            };
+            assert_eq!(run(true), run(false), "{res:?}");
+        }
     }
 
     #[test]

@@ -18,8 +18,15 @@ use crate::batch::{Batch, ColMeta, OpSchema};
 use crate::enc::{BlockVerdict, ScanKernel};
 use crate::error::Result;
 use crate::expr::Expr;
+use crate::kernel::{kernel_enabled, FilterProgram};
 use crate::ops::Operator;
 use crate::pred::{predicates_to_expr, ColPredicate};
+
+/// Drop the trailing residual-only columns without cloning the kept ones.
+fn truncate_cols(mut b: Batch, n: usize) -> Batch {
+    b.columns.truncate(n);
+    b
+}
 
 /// Scan over a stored table.
 pub struct PlainScan {
@@ -34,6 +41,11 @@ pub struct PlainScan {
     extra_cols: Vec<usize>,
     /// Residual filter bound against projection ++ extra columns.
     residual: Option<Expr>,
+    /// Schema the residual is bound against (projection ++ extras).
+    eval_schema: OpSchema,
+    /// Selection-vector program for the residual (see [`crate::kernel`]);
+    /// `None` keeps the interpreter path.
+    program: Option<FilterProgram>,
     /// Compression-aware predicate kernel; `Some` only when the table is
     /// block-encoded and every predicate is kernel-supported.
     kernel: Option<ScanKernel>,
@@ -98,6 +110,10 @@ impl PlainScan {
         };
         let end_block = blocks.end.min(table.block_count());
         let kernel = ScanKernel::try_new(&table, &preds);
+        let program = match (&residual, kernel_enabled()) {
+            (Some(e), true) => Some(FilterProgram::compile(e, &eval_schema)),
+            _ => None,
+        };
         Ok(PlainScan {
             table,
             io,
@@ -105,6 +121,8 @@ impl PlainScan {
             predicates: preds,
             extra_cols,
             residual,
+            eval_schema,
+            program,
             kernel,
             metrics: None,
             schema,
@@ -116,6 +134,16 @@ impl PlainScan {
     /// Attach operator metrics (block-skip counters) to this scan.
     pub fn with_metrics(mut self, metrics: Option<Arc<OpMetrics>>) -> PlainScan {
         self.metrics = metrics;
+        self
+    }
+
+    /// Pin the residual's selection-vector kernel on or off, overriding
+    /// the `BDCC_KERNEL` gate consulted at construction.
+    pub fn with_filter_kernel(mut self, on: bool) -> PlainScan {
+        self.program = match (&self.residual, on) {
+            (Some(e), true) => Some(FilterProgram::compile(e, &self.eval_schema)),
+            _ => None,
+        };
         self
     }
 
@@ -221,21 +249,36 @@ impl Operator for PlainScan {
                 columns.push(self.table.column(idx)?.slice(start, end));
             }
             let full = Batch::new(columns);
-            let batch = match &self.residual {
-                Some(filter) => {
+            let batch = match (&self.residual, &self.program) {
+                (Some(_), Some(program)) => {
+                    let sel = program.select(&full)?;
+                    if sel.is_empty() {
+                        continue;
+                    }
+                    // An all-pass selection moves the slices through
+                    // unchanged; extras drop without cloning survivors.
+                    truncate_cols(sel.take(full), self.projection.len())
+                }
+                (Some(filter), None) => {
                     let keep = filter.eval_bool(&full)?;
                     if !keep.iter().any(|&k| k) {
                         continue;
                     }
-                    // Drop the extra predicate columns after filtering.
-                    let filtered = full.filter(&keep);
-                    Batch::new(filtered.columns[..self.projection.len()].to_vec())
+                    if keep.iter().all(|&k| k) {
+                        // All rows pass: skip the per-column copy.
+                        truncate_cols(full, self.projection.len())
+                    } else {
+                        truncate_cols(full.filter(&keep), self.projection.len())
+                    }
                 }
-                None => Batch::new(full.columns[..self.projection.len()].to_vec()),
+                (None, _) => truncate_cols(full, self.projection.len()),
             };
             if batch.rows() > 0 {
                 return Ok(Some(batch));
             }
+        }
+        if let (Some(m), Some(p)) = (&self.metrics, &self.program) {
+            p.annotate(m);
         }
         Ok(None)
     }

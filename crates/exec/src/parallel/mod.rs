@@ -206,7 +206,9 @@ impl FragmentBlueprint {
         let mut op = self.scan.build_with_metrics(io, morsel, metrics)?;
         for step in &self.steps {
             op = match step {
-                FragmentStep::Filter(e) => Box::new(Filter::new(op, e.clone())?),
+                FragmentStep::Filter(e) => {
+                    Box::new(Filter::with_kernel(op, e.clone(), self.scan.filter_kernel)?)
+                }
                 FragmentStep::Project(exprs) => Box::new(Project::new(op, exprs.clone())?),
             };
         }
@@ -889,6 +891,7 @@ mod tests {
             columns: vec!["k".into(), "g".into(), "f".into()],
             predicates: preds,
             kind: ScanKind::Plain,
+            filter_kernel: crate::kernel::kernel_enabled(),
         }
     }
 
@@ -923,6 +926,7 @@ mod tests {
             columns: vec!["k".into(), "f".into()],
             predicates: preds,
             kind: ScanKind::Plain,
+            filter_kernel: crate::kernel::kernel_enabled(),
         };
         let par = collect(Box::new(ParallelScan::new(bp, io, cfg, MemoryTracker::new()).unwrap()))
             .unwrap();
@@ -1045,6 +1049,7 @@ mod tests {
                 columns: vec!["scat".into(), "g".into(), "uniq".into(), "clus".into()],
                 predicates: vec![],
                 kind: ScanKind::Plain,
+                filter_kernel: crate::kernel::kernel_enabled(),
             };
             ParallelAggregate::new(
                 FragmentBlueprint { scan: bp, steps: vec![] },
@@ -1114,6 +1119,7 @@ mod tests {
             columns: vec!["s".into(), "f".into(), "v".into()],
             predicates: vec![],
             kind: ScanKind::Plain,
+            filter_kernel: crate::kernel::kernel_enabled(),
         };
         let cfg = ParallelConfig { threads: 4, morsel_rows: 64, agg_radix: Some(true) };
         let par = collect(Box::new(

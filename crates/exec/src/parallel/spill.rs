@@ -420,6 +420,7 @@ mod tests {
                 columns: vec!["k".into(), "f".into(), "s".into()],
                 predicates: vec![],
                 kind: ScanKind::Plain,
+                filter_kernel: crate::kernel::kernel_enabled(),
             };
             let agg = ParallelAggregate::new(
                 FragmentBlueprint { scan: bp, steps: vec![] },

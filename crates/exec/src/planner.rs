@@ -78,6 +78,11 @@ pub struct QueryContext {
     /// `auto`) or under `BDCC_SPILL=force`; inert otherwise, leaving
     /// operators on their pure in-memory paths (see [`crate::broker`]).
     pub broker: MemoryBroker,
+    /// Compile predicates into selection-vector kernel programs (see
+    /// [`crate::kernel`]); defaults to the `BDCC_KERNEL` gate. `false`
+    /// keeps every filter on the seed interpreter, the
+    /// differential-testing oracle.
+    pub kernel: bool,
 }
 
 impl QueryContext {
@@ -91,6 +96,7 @@ impl QueryContext {
             parallel: None,
             profiler: Profiler::from_env(),
             governor: Governor::none(),
+            kernel: crate::kernel::kernel_enabled(),
         }
     }
 
@@ -114,7 +120,15 @@ impl QueryContext {
             parallel: Some(parallel),
             profiler: Profiler::from_env(),
             governor: Governor::none(),
+            kernel: crate::kernel::kernel_enabled(),
         }
+    }
+
+    /// Pin this query's selection-vector kernel toggle explicitly,
+    /// overriding the `BDCC_KERNEL` gate.
+    pub fn with_kernel(mut self, kernel: bool) -> QueryContext {
+        self.kernel = kernel;
+        self
     }
 
     /// Enable per-operator profiling on this context (what
@@ -536,7 +550,8 @@ impl<'a> Planner<'a> {
                 let child = self.build(input, requested)?;
                 let prof = self.prof_node("Filter".into(), vec![child.prof.clone()], None);
                 let cop = wrap_edge(child.op, &child.prof, &prof);
-                let op = Filter::new(cop, predicate.clone())?;
+                let op = Filter::with_kernel(cop, predicate.clone(), self.ctx.kernel)?
+                    .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)));
                 Ok(PhysOut { op: Box::new(op), gk_cols: child.gk_cols, prof })
             }
             Node::Project { input, exprs } => {
@@ -682,6 +697,7 @@ impl<'a> Planner<'a> {
                 columns: columns.to_vec(),
                 predicates: predicates.to_vec(),
                 kind,
+                filter_kernel: self.ctx.kernel,
             },
             requested.len(),
         ))
@@ -852,6 +868,7 @@ impl<'a> Planner<'a> {
                                 residual.clone(),
                                 self.op_tracker(&prof),
                             )?
+                            .with_kernel(self.ctx.kernel)
                             .with_parallel(self.ctx.parallel.clone())
                             .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)))
                             .with_governor(self.ctx.governor.clone());
@@ -915,6 +932,7 @@ impl<'a> Planner<'a> {
         // morsel budget, both byte-identical to serial execution.
         let j =
             HashJoin::new(lop, rop, &on_refs, join_type, residual.clone(), self.op_tracker(&prof))?
+                .with_kernel(self.ctx.kernel)
                 .with_parallel(self.ctx.parallel.clone())
                 .with_metrics(prof.as_ref().map(|p| Arc::clone(&p.metrics)))
                 .with_governor(self.ctx.governor.clone())

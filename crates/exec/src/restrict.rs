@@ -23,9 +23,10 @@ use std::collections::HashMap;
 
 use bdcc_catalog::{FkId, TableId};
 use bdcc_core::{Dimension, KeyValue};
-use bdcc_storage::StoredTable;
+use bdcc_storage::{DataType, StoredTable};
 
 use crate::batch::{Batch, ColMeta};
+use crate::enc::{compile_int, compile_str, int_test, str_test};
 use crate::error::Result;
 use crate::plan::{FkSide, Node};
 use crate::pred::{predicates_to_expr, ColPredicate};
@@ -224,23 +225,44 @@ fn qualifying_rows(
     if rows == 0 || depth > 4 {
         return Ok(mask);
     }
-    // Own predicates, evaluated over the whole table at once.
-    if let Some(expr) = predicates_to_expr(&scan.predicates) {
-        let names: Vec<String> = scan.predicates.iter().map(|p| p.column.clone()).collect();
-        let mut metas: Vec<ColMeta> = Vec::new();
-        let mut cols = Vec::new();
-        for n in &names {
-            if metas.iter().any(|m| &m.name == n) {
-                continue;
+    // Own predicates, evaluated one predicate at a time over the stored
+    // columns *borrowed in place* — a plan-time reduction must not copy a
+    // host column per qualifying pass. Each sargable predicate compiles to
+    // the same flat test the scan residual kernels use; shapes the tests
+    // cannot express (float comparisons, type mismatches) fall back to the
+    // expression interpreter over just that predicate's column.
+    for p in &scan.predicates {
+        let idx = stored.column_index(&p.column)?;
+        let col = stored.column(idx)?;
+        let dt = stored.schema().columns[idx].data_type;
+        let mut applied = false;
+        match dt {
+            DataType::Int | DataType::Date => {
+                if let Some(t) = compile_int(&p.kind) {
+                    for (m, v) in mask.iter_mut().zip(col.as_i64()?) {
+                        *m = *m && int_test(&t, *v);
+                    }
+                    applied = true;
+                }
             }
-            let idx = stored.column_index(n)?;
-            metas.push(ColMeta::new(n, stored.schema().columns[idx].data_type));
-            cols.push((**stored.column(idx)?).clone());
+            DataType::Str => {
+                if let Some(t) = compile_str(&p.kind) {
+                    for (m, v) in mask.iter_mut().zip(col.as_str()?) {
+                        *m = *m && str_test(&t, v);
+                    }
+                    applied = true;
+                }
+            }
+            DataType::Float => {}
         }
-        let batch = Batch::new(cols);
-        let keep = expr.bind(&metas)?.eval_bool(&batch)?;
-        for (m, k) in mask.iter_mut().zip(&keep) {
-            *m = *m && *k;
+        if !applied {
+            let expr = predicates_to_expr(std::slice::from_ref(p)).expect("one predicate");
+            let metas = vec![ColMeta::new(&p.column, dt)];
+            let batch = Batch::new(vec![(**col).clone()]);
+            let keep = expr.bind(&metas)?.eval_bool(&batch)?;
+            for (m, k) in mask.iter_mut().zip(&keep) {
+                *m = *m && *k;
+            }
         }
     }
     // Semi-join reductions: host references another scanned table.

@@ -402,6 +402,7 @@ fn run_ticket(shared: &ServerShared, ticket: Ticket) {
         parallel: shared.cfg.parallel.clone(),
         profiler: None,
         governor: Governor::none(),
+        kernel: crate::kernel::kernel_enabled(),
     }
     .with_cancel(ticket.shared.cancel.clone());
     if let Some(at) = ticket.deadline {

@@ -96,6 +96,7 @@ fn parallel(t: &Arc<StoredTable>, group_by: &[&str], threads: usize, radix: bool
         columns: COLS.iter().map(|c| c.to_string()).collect(),
         predicates: vec![],
         kind: ScanKind::Plain,
+        filter_kernel: bdcc_exec::kernel_enabled(),
     };
     let cfg = ParallelConfig { threads, morsel_rows: test_morsel_rows(), agg_radix: Some(radix) };
     collect(Box::new(
@@ -266,6 +267,7 @@ proptest! {
             columns: COLS.iter().map(|c| c.to_string()).collect(),
             predicates: vec![],
             kind: ScanKind::Plain,
+            filter_kernel: bdcc_exec::kernel_enabled(),
         };
         let cfg = ParallelConfig { threads, morsel_rows: test_morsel_rows(), agg_radix: None };
         let auto = collect(Box::new(

@@ -228,6 +228,7 @@ fn streaming_scan_memory_stays_morsel_bounded() {
         columns: cols.clone(),
         predicates: vec![],
         kind: ScanKind::Plain,
+        filter_kernel: bdcc_exec::kernel_enabled(),
     };
     let serial =
         collect(blueprint(&small).build(&IoTracker::new(), None).expect("serial scan")).unwrap();
@@ -299,6 +300,7 @@ fn radix_aggregation_beats_partials_on_high_cardinality_groups() {
         columns: cols.iter().map(|c| c.to_string()).collect(),
         predicates: vec![],
         kind: ScanKind::Plain,
+        filter_kernel: bdcc_exec::kernel_enabled(),
     };
     let run_parallel = |group: &str, threads: usize, radix: bool| {
         let tracker = MemoryTracker::new();
